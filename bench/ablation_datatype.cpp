@@ -1,0 +1,171 @@
+// Ablation A3 - composite payload marshalling strategies.
+//
+// The original WL-LSMS code marshals the single-atom scalars with a chain of
+// MPI_Pack calls (Listing 4); the directive's automatic datatype handling
+// builds one derived MPI struct (cached per scope) instead. A third
+// hand-written alternative sends each field as its own message. This bench
+// quantifies the trade-off as the number of transferred composites grows.
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/core.hpp"
+#include "mpi/mpi.hpp"
+#include "rt/runtime.hpp"
+#include "wllsms/atom.hpp"
+
+namespace {
+
+using namespace cid;
+using wllsms::AtomScalarData;
+
+enum class Marshal { Pack, DerivedType, FieldPerMessage };
+
+double run_transfers(int count, Marshal marshal) {
+  const auto model = simnet::MachineModel::cray_xk7_gemini();
+  auto result = rt::run(2, model, [&](rt::RankCtx& ctx) {
+    auto world = mpi::Comm::world();
+    AtomScalarData data{};
+    data.jmt = 42;
+
+    switch (marshal) {
+      case Marshal::Pack: {
+        std::vector<std::byte> buffer(512);
+        for (int i = 0; i < count; ++i) {
+          if (ctx.rank() == 0) {
+            std::size_t pos = 0;
+            mpi::pack(world, &data.local_id, 1, buffer, pos);
+            mpi::pack(world, &data.jmt, 1, buffer, pos);
+            mpi::pack(world, &data.jws, 1, buffer, pos);
+            mpi::pack(world, &data.xstart, 1, buffer, pos);
+            mpi::pack(world, &data.rmt, 1, buffer, pos);
+            mpi::pack(world, data.header, 80, buffer, pos);
+            mpi::pack(world, &data.alat, 1, buffer, pos);
+            mpi::pack(world, &data.efermi, 1, buffer, pos);
+            mpi::pack(world, &data.vdif, 1, buffer, pos);
+            mpi::pack(world, &data.ztotss, 1, buffer, pos);
+            mpi::pack(world, &data.zcorss, 1, buffer, pos);
+            mpi::pack(world, data.evec, 3, buffer, pos);
+            mpi::pack(world, &data.nspin, 1, buffer, pos);
+            mpi::pack(world, &data.numc, 1, buffer, pos);
+            mpi::send(world, buffer.data(), pos,
+                      mpi::Datatype::basic(mpi::BasicType::Packed), 1, 0);
+          } else {
+            auto status = mpi::recv(
+                world, buffer.data(), buffer.size(),
+                mpi::Datatype::basic(mpi::BasicType::Packed), 0, 0);
+            const ByteSpan wire(buffer.data(), status.count);
+            std::size_t pos = 0;
+            mpi::unpack(world, wire, pos, &data.local_id, 1);
+            mpi::unpack(world, wire, pos, &data.jmt, 1);
+            mpi::unpack(world, wire, pos, &data.jws, 1);
+            mpi::unpack(world, wire, pos, &data.xstart, 1);
+            mpi::unpack(world, wire, pos, &data.rmt, 1);
+            mpi::unpack(world, wire, pos, data.header, 80);
+            mpi::unpack(world, wire, pos, &data.alat, 1);
+            mpi::unpack(world, wire, pos, &data.efermi, 1);
+            mpi::unpack(world, wire, pos, &data.vdif, 1);
+            mpi::unpack(world, wire, pos, &data.ztotss, 1);
+            mpi::unpack(world, wire, pos, &data.zcorss, 1);
+            mpi::unpack(world, wire, pos, data.evec, 3);
+            mpi::unpack(world, wire, pos, &data.nspin, 1);
+            mpi::unpack(world, wire, pos, &data.numc, 1);
+          }
+        }
+        break;
+      }
+
+      case Marshal::DerivedType: {
+        // The directive path: derived datatype built once, then reused.
+        for (int i = 0; i < count; ++i) {
+          core::comm_p2p(core::Clauses()
+                             .sender(0)
+                             .receiver(1)
+                             .sendwhen("rank==0")
+                             .receivewhen("rank==1")
+                             .count(1)
+                             .sbuf(core::buf(data))
+                             .rbuf(core::buf(data)));
+        }
+        break;
+      }
+
+      case Marshal::FieldPerMessage: {
+        for (int i = 0; i < count; ++i) {
+          if (ctx.rank() == 0) {
+            std::vector<mpi::Request> reqs;
+            reqs.push_back(mpi::isend(world, &data.local_id, 1, 1, 0));
+            reqs.push_back(mpi::isend(world, &data.jmt, 1, 1, 1));
+            reqs.push_back(mpi::isend(world, &data.jws, 1, 1, 2));
+            reqs.push_back(mpi::isend(world, &data.xstart, 1, 1, 3));
+            reqs.push_back(mpi::isend(world, &data.rmt, 1, 1, 4));
+            reqs.push_back(mpi::isend(world, data.header, 80, 1, 5));
+            reqs.push_back(mpi::isend(world, &data.alat, 1, 1, 6));
+            reqs.push_back(mpi::isend(world, &data.efermi, 1, 1, 7));
+            reqs.push_back(mpi::isend(world, &data.vdif, 1, 1, 8));
+            reqs.push_back(mpi::isend(world, &data.ztotss, 1, 1, 9));
+            reqs.push_back(mpi::isend(world, &data.zcorss, 1, 1, 10));
+            reqs.push_back(mpi::isend(world, data.evec, 3, 1, 11));
+            reqs.push_back(mpi::isend(world, &data.nspin, 1, 1, 12));
+            reqs.push_back(mpi::isend(world, &data.numc, 1, 1, 13));
+            mpi::waitall(reqs);
+          } else {
+            std::vector<mpi::Request> reqs;
+            reqs.push_back(mpi::irecv(world, &data.local_id, 1, 0, 0));
+            reqs.push_back(mpi::irecv(world, &data.jmt, 1, 0, 1));
+            reqs.push_back(mpi::irecv(world, &data.jws, 1, 0, 2));
+            reqs.push_back(mpi::irecv(world, &data.xstart, 1, 0, 3));
+            reqs.push_back(mpi::irecv(world, &data.rmt, 1, 0, 4));
+            reqs.push_back(mpi::irecv(world, data.header, 80, 0, 5));
+            reqs.push_back(mpi::irecv(world, &data.alat, 1, 0, 6));
+            reqs.push_back(mpi::irecv(world, &data.efermi, 1, 0, 7));
+            reqs.push_back(mpi::irecv(world, &data.vdif, 1, 0, 8));
+            reqs.push_back(mpi::irecv(world, &data.ztotss, 1, 0, 9));
+            reqs.push_back(mpi::irecv(world, &data.zcorss, 1, 0, 10));
+            reqs.push_back(mpi::irecv(world, data.evec, 3, 0, 11));
+            reqs.push_back(mpi::irecv(world, &data.nspin, 1, 0, 12));
+            reqs.push_back(mpi::irecv(world, &data.numc, 1, 0, 13));
+            mpi::waitall(reqs);
+          }
+        }
+        break;
+      }
+    }
+  });
+  return result.makespan();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cid::bench;
+  const bool quick = quick_mode(argc, argv);
+  print_header(
+      "Ablation A3 - composite marshalling: Pack vs derived type vs "
+      "field-per-message",
+      "Transferring the 14-field single-atom scalar struct repeatedly; the\n"
+      "derived type pays a one-time creation cost then wins per transfer.");
+
+  print_row({"transfers", "pack(us)", "derived(us)", "per-field(us)",
+             "derived-spd"},
+            15);
+
+  std::vector<int> counts = {1, 2, 4, 8, 16, 32, 64};
+  if (quick) counts = {1, 8, 64};
+  for (int count : counts) {
+    const double pack = run_transfers(count, Marshal::Pack);
+    const double derived = run_transfers(count, Marshal::DerivedType);
+    const double per_field =
+        run_transfers(count, Marshal::FieldPerMessage);
+    print_row({std::to_string(count), fmt_us(pack), fmt_us(derived),
+               fmt_us(per_field), fmt_x(pack / derived)},
+              15);
+  }
+
+  std::printf(
+      "\nShape check: at one transfer the derived type's creation cost\n"
+      "shows; it amortizes over repeated transfers, after which the derived\n"
+      "type is comparable to the hand-written Pack chain (Figure 3's result\n"
+      "for the full atom payload) while being generated automatically, and\n"
+      "both are several times faster than field-per-message.\n");
+  return 0;
+}

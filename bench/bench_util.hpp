@@ -1,0 +1,49 @@
+// Shared helpers for the figure-reproduction benches. All times are VIRTUAL
+// seconds from the machine model — deterministic, independent of the host.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cid::bench {
+
+/// Print one row of pipe-separated columns with fixed widths.
+inline void print_row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& cell : cells) {
+    std::printf("%*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+inline std::string fmt_us(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", seconds * 1e6);
+  return buffer;
+}
+
+inline std::string fmt_x(double ratio) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2fx", ratio);
+  return buffer;
+}
+
+inline void print_header(const char* title, const char* description) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n%s\n", title, description);
+  std::printf("(virtual time from the calibrated Cray-XK7/Gemini model; "
+              "deterministic)\n");
+  std::printf("==============================================================\n");
+}
+
+/// True when the benches should run a reduced sweep (CID_BENCH_QUICK=1 or
+/// --quick on the command line).
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") return true;
+  }
+  const char* env = std::getenv("CID_BENCH_QUICK");
+  return env != nullptr && std::string(env) == "1";
+}
+
+}  // namespace cid::bench

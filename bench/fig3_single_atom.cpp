@@ -1,0 +1,52 @@
+// Figure 3: "Experimental results for communication of single atom data".
+//
+// Paper setup: WL-LSMS on a Cray XK7, sixteen iron atoms, 33-337 processes;
+// the distribution of each atom's potentials and electron densities from the
+// privileged rank of every LIZ to the owning member, measured for the
+// original MPI_Pack-based code, the directive translated to MPI (2-sided,
+// derived datatype + consolidated Waitall), and the directive translated to
+// SHMEM. Paper result: the three series are comparable.
+#include <cstdlib>
+
+#include "bench/bench_util.hpp"
+#include "wllsms/driver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cid::wllsms;
+  using namespace cid::bench;
+
+  const bool quick = quick_mode(argc, argv);
+  print_header(
+      "Figure 3 - single atom data (potentials + electron densities)",
+      "Distribution from each LIZ's privileged rank to the owning members;\n"
+      "16 Fe atoms, 16 LSMS instances, nprocs = 1 + 16k as in the paper.");
+
+  print_row({"nprocs", "original(us)", "dir-mpi(us)", "dir-shmem(us)",
+             "mpi/orig", "shmem/orig"});
+
+  std::vector<int> sweep = Topology::paper_nprocs_sweep();
+  if (quick) sweep = {33, 113, 209, 337};
+
+  for (int nprocs : sweep) {
+    ExperimentConfig config;
+    config.nprocs = nprocs;
+    config.num_lsms = 16;
+    config.natoms = 16;
+
+    const double original =
+        run_single_atom_distribution(config, Variant::Original);
+    const double mpi =
+        run_single_atom_distribution(config, Variant::DirectiveMpi);
+    const double shmem =
+        run_single_atom_distribution(config, Variant::DirectiveShmem);
+
+    print_row({std::to_string(nprocs), fmt_us(original), fmt_us(mpi),
+               fmt_us(shmem), fmt_x(mpi / original),
+               fmt_x(shmem / original)});
+  }
+
+  std::printf(
+      "\nPaper shape check: all three series should be of comparable\n"
+      "magnitude (no order-of-magnitude separation), growing with nprocs.\n");
+  return 0;
+}

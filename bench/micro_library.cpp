@@ -1,0 +1,135 @@
+// Real-time microbenchmarks (google-benchmark) of the library's host-side
+// machinery: clause-expression parsing/evaluation, pragma parsing, derived
+// datatype gather/scatter, source translation, and mailbox throughput.
+// These measure actual CPU cost (not virtual time): the overheads a compiler
+// or runtime adopting this design would pay.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/core.hpp"
+#include "mpi/mpi.hpp"
+#include "rt/mailbox.hpp"
+#include "translate/translator.hpp"
+#include "wllsms/atom.hpp"
+
+namespace {
+
+void BM_ExprParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto expr = cid::core::Expr::parse("(rank-1+nprocs)%nprocs");
+    benchmark::DoNotOptimize(expr);
+  }
+}
+BENCHMARK(BM_ExprParse);
+
+void BM_ExprEval(benchmark::State& state) {
+  auto expr = cid::core::Expr::parse("(rank-1+nprocs)%nprocs").take();
+  cid::core::Env env;
+  env.bind("rank", 5);
+  env.bind("nprocs", 337);
+  for (auto _ : state) {
+    auto value = expr.eval(env);
+    benchmark::DoNotOptimize(value);
+  }
+}
+BENCHMARK(BM_ExprEval);
+
+void BM_PragmaParse(benchmark::State& state) {
+  constexpr const char* kPragma =
+      "#pragma comm_parameters sender(rank-1) receiver(rank+1) "
+      "sendwhen(rank%2==0) receivewhen(rank%2==1) count(size) "
+      "max_comm_iter(n) place_sync(END_PARAM_REGION)";
+  for (auto _ : state) {
+    auto parsed = cid::core::parse_pragma(kPragma);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_PragmaParse);
+
+void BM_DatatypeGatherScalars(benchmark::State& state) {
+  const auto& layout =
+      cid::core::TypeLayoutOf<cid::wllsms::AtomScalarData>::get();
+  auto dtype = layout.to_datatype().take();
+  std::vector<cid::wllsms::AtomScalarData> atoms(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto wire = dtype.gather(atoms.data(), atoms.size());
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(dtype.payload_size()));
+}
+BENCHMARK(BM_DatatypeGatherScalars)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_DatatypeScatterScalars(benchmark::State& state) {
+  const auto& layout =
+      cid::core::TypeLayoutOf<cid::wllsms::AtomScalarData>::get();
+  auto dtype = layout.to_datatype().take();
+  std::vector<cid::wllsms::AtomScalarData> atoms(
+      static_cast<std::size_t>(state.range(0)));
+  const auto wire = dtype.gather(atoms.data(), atoms.size());
+  for (auto _ : state) {
+    auto status = dtype.scatter(cid::ByteSpan(wire.data(), wire.size()),
+                                atoms.data(), atoms.size());
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0) *
+                          static_cast<std::int64_t>(dtype.payload_size()));
+}
+BENCHMARK(BM_DatatypeScatterScalars)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_TranslateListing3(benchmark::State& state) {
+  constexpr const char* kListing3 = R"(
+#pragma comm_parameters sender(rank-1) \
+    receiver(rank+1) sendwhen(rank%2==0) \
+    receivewhen(rank%2==1) count(size) \
+    max_comm_iter(n) place_sync(END_PARAM_REGION)
+{
+for(p=0; p < n; p++)
+#pragma comm_p2p sbuf(&buf1[p]) rbuf(&buf2[p])
+{ }
+}
+)";
+  for (auto _ : state) {
+    auto result = cid::translate::translate_source(kListing3);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TranslateListing3);
+
+void BM_MailboxPushExtract(benchmark::State& state) {
+  cid::rt::Mailbox mailbox;
+  for (auto _ : state) {
+    cid::rt::Envelope envelope;
+    envelope.src = 0;
+    envelope.tag = 7;
+    envelope.payload.resize(24);
+    mailbox.push(std::move(envelope));
+    auto out = mailbox.try_extract(
+        [](const cid::rt::Envelope& e) { return e.tag == 7; });
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_MailboxPushExtract);
+
+void BM_SpmdLaunch(benchmark::State& state) {
+  const auto model = cid::simnet::MachineModel::zero();
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result = cid::rt::run(ranks, model, [](cid::rt::RankCtx& ctx) {
+      ctx.barrier();
+    });
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SpmdLaunch)
+    ->Arg(2)
+    ->Arg(16)
+    ->Arg(64)
+    ->Iterations(10)  // thread spawning dominates; bound the run time
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Software pipelining with place_sync(BEGIN_NEXT_PARAM_REGION): stage k's
+// transfers are synchronized only at the start of stage k+1's region, so the
+// computation between regions runs while the previous stage's messages are
+// still in flight — the cross-region relaxation the paper's place_sync
+// keywords exist for.
+//
+// The pattern: a chain of ranks processes a stream of work items; each rank
+// transforms an item and forwards it downstream. With deferred sync, rank r
+// overlaps "transform item i" with "item i-1 still flying to rank r+1".
+//
+// Build & run:  ./pipeline [nranks] [items]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include <atomic>
+
+#include "core/core.hpp"
+#include "rt/runtime.hpp"
+
+namespace {
+constexpr int kElems = 32768;  // 256 KiB per item: transfer ~ compute
+}
+
+int main(int argc, char** argv) {
+  using namespace cid::core;
+  const int nranks = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int items = argc > 2 ? std::atoi(argv[2]) : 8;
+
+  std::printf("Pipeline of %d stages over %d items "
+              "(place_sync BEGIN_NEXT_PARAM_REGION)\n",
+              nranks, items);
+
+  auto observed_waitalls = std::make_shared<std::atomic<std::uint64_t>>(0);
+  auto observed_deferrals = std::make_shared<std::atomic<std::uint64_t>>(0);
+  auto run_variant = [&](bool deferred) {
+    return cid::rt::run(nranks, [&](cid::rt::RankCtx& ctx) {
+      // Double-buffered in/out so the deferred variant never reuses a
+      // buffer whose transfer is still unsynchronized.
+      std::vector<double> inbox[2] = {std::vector<double>(kElems, 0.0),
+                                      std::vector<double>(kElems, 0.0)};
+      std::vector<double> outbox[2] = {std::vector<double>(kElems, 0.0),
+                                       std::vector<double>(kElems, 0.0)};
+      if (ctx.rank() == 0) {
+        for (int i = 0; i < kElems; ++i) outbox[0][i] = i * 0.5;
+      }
+
+      for (int item = 0; item < items; ++item) {
+        const int slot = item % 2;
+        Clauses clauses;
+        clauses.sender("rank-1")
+            .receiver("rank+1")
+            .sendwhen("rank<nprocs-1")
+            .receivewhen("rank>0")
+            .count(kElems)
+            .max_comm_iter(1);
+        if (deferred) {
+          clauses.place_sync(SyncPlacement::BeginNextParamRegion);
+        }
+        comm_parameters(clauses, [&](Region& region) {
+          region.p2p(
+              Clauses().sbuf(buf(outbox[slot])).rbuf(buf(inbox[slot])));
+        });
+
+        // Stage computation: transform the PREVIOUS item while (in the
+        // deferred variant) this item's transfer is still in flight.
+        const int prev_slot = 1 - slot;
+        for (int i = 0; i < kElems; ++i) {
+          outbox[prev_slot][i] = inbox[prev_slot][i] + 1.0;
+        }
+        ctx.charge_compute(40e-6);
+      }
+      comm_flush();  // drain the final deferred synchronization
+      if (ctx.rank() == 1) {
+        observed_waitalls->store(comm_stats().waitalls);
+        observed_deferrals->store(comm_stats().deferred_syncs);
+      }
+    });
+  };
+
+  const double eager = run_variant(false).makespan();
+  const std::uint64_t eager_waitalls = observed_waitalls->load();
+  const double deferred = run_variant(true).makespan();
+  const std::uint64_t deferred_waitalls = observed_waitalls->load();
+
+  std::printf("  region-end sync : %8.2f us, %llu waitalls on stage 1\n",
+              eager * 1e6, static_cast<unsigned long long>(eager_waitalls));
+  std::printf("  deferred sync   : %8.2f us, %llu waitalls (%llu deferred)\n",
+              deferred * 1e6,
+              static_cast<unsigned long long>(deferred_waitalls),
+              static_cast<unsigned long long>(observed_deferrals->load()));
+  std::printf(
+      "BEGIN_NEXT_PARAM_REGION moves each region's synchronization to the\n"
+      "start of the next region (the %llu deferrals above), so the\n"
+      "between-region computation runs before the wait instead of after\n"
+      "it. With compute-bound stages the gain is small and bounded by\n"
+      "min(compute, in-flight time) per item; it is the relaxation the\n"
+      "paper's place_sync keywords exist to express, measured honestly.\n",
+      static_cast<unsigned long long>(observed_deferrals->load()));
+  return 0;
+}

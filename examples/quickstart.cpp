@@ -1,0 +1,51 @@
+// Quickstart: the paper's Listing 1 ring pattern, expressed through the
+// embedded directive API and executed on the simulated SPMD runtime.
+//
+//   prev = (rank-1+nprocs)%nprocs;
+//   next = (rank+1)%nprocs;
+//   #pragma comm_p2p sender(prev) receiver(next) sbuf(buf1) rbuf(buf2)
+//
+// Build & run:  ./quickstart [nranks]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/core.hpp"
+#include "rt/runtime.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cid::core;
+  const int nranks = argc > 1 ? std::atoi(argv[1]) : 8;
+
+  std::printf("Ring exchange on %d simulated ranks (Listing 1)\n", nranks);
+
+  auto result = cid::rt::run(nranks, [&](cid::rt::RankCtx& ctx) {
+    double buf1[4];
+    double buf2[4] = {};
+    for (int i = 0; i < 4; ++i) buf1[i] = ctx.rank() * 100.0 + i;
+
+    // The directive: required clauses only. The count is inferred from the
+    // array extents; the target defaults to MPI nonblocking send/receive.
+    comm_p2p(Clauses()
+                 .sender("(rank-1+nprocs)%nprocs")
+                 .receiver("(rank+1)%nprocs")
+                 .sbuf(buf(buf1, "buf1"))
+                 .rbuf(buf(buf2, "buf2")));
+
+    const int prev = (ctx.rank() - 1 + ctx.nranks()) % ctx.nranks();
+    for (int i = 0; i < 4; ++i) {
+      if (buf2[i] != prev * 100.0 + i) {
+        std::fprintf(stderr, "rank %d: wrong data from %d!\n", ctx.rank(),
+                     prev);
+        std::abort();
+      }
+    }
+    if (ctx.rank() == 0) {
+      std::printf("rank 0 received [%g %g %g %g] from rank %d\n", buf2[0],
+                  buf2[1], buf2[2], buf2[3], prev);
+    }
+  });
+
+  std::printf("done; virtual makespan = %.2f us\n",
+              result.makespan() * 1e6);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Source-to-source translation demo: feeds the paper's Listing 3 (and a
+// SHMEM-targeted variant) through the translator and prints the generated
+// message passing code — what the `cidt` CLI does for whole files.
+//
+// Build & run:  ./translate_demo
+#include <cstdio>
+
+#include "translate/translator.hpp"
+
+namespace {
+
+constexpr const char* kListing3 = R"(// paper Listing 3
+#pragma comm_parameters sender(rank-1) \
+    receiver(rank+1) sendwhen(rank%2==0) \
+    receivewhen(rank%2==1) count(size) \
+    max_comm_iter(n) place_sync(END_PARAM_REGION)
+{
+for(p=0; p < n; p++)
+#pragma comm_p2p sbuf(&buf1[p]) rbuf(&buf2[p])
+{ }
+}
+)";
+
+constexpr const char* kShmemRing = R"(// ring, retargeted to SHMEM
+#pragma comm_p2p sender((rank-1+nprocs)%nprocs) receiver((rank+1)%nprocs) sbuf(buf1) rbuf(buf2) target(TARGET_COMM_SHMEM)
+{ }
+)";
+
+void show(const char* title, const char* source) {
+  std::printf("----- %s -----\ninput:\n%s\n", title, source);
+  auto result = cid::translate::translate_source(source);
+  if (!result.is_ok()) {
+    std::printf("translation failed: %s\n",
+                result.status().to_string().c_str());
+    return;
+  }
+  std::printf("output:\n%s\n", result.value().source.c_str());
+  std::printf("(%d p2p directive(s), %d region(s), %d consolidated "
+              "sync(s))\n\n",
+              result.value().summary.p2p_directives,
+              result.value().summary.parameter_regions,
+              result.value().summary.consolidated_syncs);
+}
+
+}  // namespace
+
+int main() {
+  show("Listing 3: region + loop -> MPI two-sided", kListing3);
+  show("Ring -> SHMEM (one clause changed)", kShmemRing);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Byte-span helpers for describing message payloads.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+namespace cid {
+
+using ByteSpan = std::span<const std::byte>;
+using MutableByteSpan = std::span<std::byte>;
+
+/// View a trivially copyable object's storage as bytes.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+ByteSpan as_bytes_of(const T& object) noexcept {
+  return ByteSpan(reinterpret_cast<const std::byte*>(&object), sizeof(T));
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+MutableByteSpan as_writable_bytes_of(T& object) noexcept {
+  return MutableByteSpan(reinterpret_cast<std::byte*>(&object), sizeof(T));
+}
+
+/// View `count` elements starting at `data` as bytes.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+ByteSpan as_bytes_of(const T* data, std::size_t count) noexcept {
+  return ByteSpan(reinterpret_cast<const std::byte*>(data),
+                  count * sizeof(T));
+}
+
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+MutableByteSpan as_writable_bytes_of(T* data, std::size_t count) noexcept {
+  return MutableByteSpan(reinterpret_cast<std::byte*>(data),
+                         count * sizeof(T));
+}
+
+/// Owned byte buffer (payload storage in mailboxes).
+using ByteBuffer = std::vector<std::byte>;
+
+inline ByteBuffer copy_to_buffer(ByteSpan bytes) {
+  return ByteBuffer(bytes.begin(), bytes.end());
+}
+
+/// True when two half-open address ranges overlap.
+inline bool ranges_overlap(const void* a, std::size_t a_size, const void* b,
+                           std::size_t b_size) noexcept {
+  const auto* a_begin = static_cast<const std::byte*>(a);
+  const auto* b_begin = static_cast<const std::byte*>(b);
+  return a_begin < b_begin + b_size && b_begin < a_begin + a_size;
+}
+
+}  // namespace cid

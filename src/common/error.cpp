@@ -1,0 +1,53 @@
+#include "common/error.hpp"
+
+namespace cid {
+
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::Ok:
+      return "OK";
+    case ErrorCode::InvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::InvalidClause:
+      return "INVALID_CLAUSE";
+    case ErrorCode::ParseError:
+      return "PARSE_ERROR";
+    case ErrorCode::TypeError:
+      return "TYPE_ERROR";
+    case ErrorCode::UnsupportedTarget:
+      return "UNSUPPORTED_TARGET";
+    case ErrorCode::RuntimeFault:
+      return "RUNTIME_FAULT";
+    case ErrorCode::IoError:
+      return "IO_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out{error_code_name(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace detail {
+
+void throw_cid_error(ErrorCode code, const char* cond, const char* file,
+                     int line, const std::string& message) {
+  std::string full = message;
+  full += " [";
+  full += cond;
+  full += " at ";
+  full += file;
+  full += ':';
+  full += std::to_string(line);
+  full += ']';
+  throw CidError(code, full);
+}
+
+}  // namespace detail
+}  // namespace cid

@@ -1,0 +1,137 @@
+// Error handling primitives shared by every cid module.
+//
+// Two mechanisms, used deliberately:
+//  - cid::Status / cid::Result<T> for recoverable, caller-checked failures
+//    (clause validation, translation errors, datatype rejection).
+//  - cid::CidError exception for programming errors and unrecoverable runtime
+//    misuse (e.g. calling a rank-scoped API outside an SPMD region), thrown via
+//    CID_REQUIRE.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace cid {
+
+/// Category of a failure. Kept coarse on purpose: callers branch on "what kind
+/// of thing went wrong", not on individual messages.
+enum class ErrorCode {
+  Ok = 0,
+  InvalidArgument,   ///< bad value passed by caller
+  InvalidClause,     ///< directive clause violates the clause rules
+  ParseError,        ///< expression / pragma text failed to parse
+  TypeError,         ///< datatype reflection rejected a layout
+  UnsupportedTarget, ///< target library cannot express the request
+  RuntimeFault,      ///< SPMD runtime misuse or internal inconsistency
+  IoError,           ///< file read/write failure (translator CLI)
+};
+
+/// Human-readable name of an ErrorCode (stable, used in messages and tests).
+std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// Value-semantic status: Ok or (code, message).
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return {}; }
+
+  bool is_ok() const noexcept { return code_ == ErrorCode::Ok; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "<code-name>: <message>".
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::Ok;
+  std::string message_;
+};
+
+/// Either a value or a Status describing why there is none.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT
+
+  bool is_ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  const T& value() const& {
+    require_ok();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    require_ok();
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    require_ok();
+    return std::get<T>(std::move(data_));
+  }
+
+  /// Status of a failed result; Ok status when the result holds a value.
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(data_);
+  }
+
+ private:
+  void require_ok() const {
+    if (!is_ok()) {
+      throw std::logic_error("Result::value() on error: " +
+                             std::get<Status>(data_).to_string());
+    }
+  }
+
+  std::variant<T, Status> data_;
+};
+
+/// Exception for unrecoverable misuse; carries an ErrorCode.
+class CidError : public std::runtime_error {
+ public:
+  CidError(ErrorCode code, const std::string& message)
+      : std::runtime_error(std::string(error_code_name(code)) + ": " + message),
+        code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+namespace detail {
+[[noreturn]] void throw_cid_error(ErrorCode code, const char* cond,
+                                  const char* file, int line,
+                                  const std::string& message);
+}  // namespace detail
+
+/// Precondition check that throws CidError with location info when violated.
+#define CID_REQUIRE(cond, code, message)                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::cid::detail::throw_cid_error((code), #cond, __FILE__, __LINE__,      \
+                                     (message));                             \
+    }                                                                        \
+  } while (false)
+
+/// Internal-invariant check; failure indicates a bug in cid itself.
+#define CID_ASSERT(cond, message) \
+  CID_REQUIRE(cond, ::cid::ErrorCode::RuntimeFault, (message))
+
+/// Propagate a non-Ok Status from the current function.
+#define CID_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::cid::Status cid_status_ = (expr);        \
+    if (!cid_status_.is_ok()) return cid_status_; \
+  } while (false)
+
+}  // namespace cid

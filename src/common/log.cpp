@@ -1,0 +1,54 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace cid {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+thread_local int t_rank = -1;
+std::mutex g_write_mutex;
+
+const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Trace:
+      return "TRACE";
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO ";
+    case LogLevel::Warn:
+      return "WARN ";
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Off:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+namespace log {
+
+void set_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_thread_rank(int rank) noexcept { t_rank = rank; }
+int thread_rank() noexcept { return t_rank; }
+
+void write(LogLevel level, const std::string& message) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  if (t_rank >= 0) {
+    std::fprintf(stderr, "[cid %s r%d] %s\n", level_tag(level), t_rank,
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[cid %s] %s\n", level_tag(level), message.c_str());
+  }
+}
+
+}  // namespace log
+}  // namespace cid

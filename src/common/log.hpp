@@ -1,0 +1,57 @@
+// Minimal leveled logger. Thread-safe, rank-aware once the SPMD runtime sets a
+// per-thread rank label. Default level is Warn so tests and benches stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cid {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+namespace log {
+
+/// Global threshold; messages below it are dropped.
+void set_level(LogLevel level) noexcept;
+LogLevel level() noexcept;
+
+/// Per-thread rank label included in messages (-1 = outside SPMD region).
+void set_thread_rank(int rank) noexcept;
+int thread_rank() noexcept;
+
+/// Emit one message (already formatted) at the given level.
+void write(LogLevel level, const std::string& message);
+
+}  // namespace log
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log::write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define CID_LOG(level_enum)                                 \
+  if (::cid::log::level() <= ::cid::LogLevel::level_enum)   \
+  ::cid::detail::LogLine(::cid::LogLevel::level_enum)
+
+#define CID_LOG_TRACE CID_LOG(Trace)
+#define CID_LOG_DEBUG CID_LOG(Debug)
+#define CID_LOG_INFO CID_LOG(Info)
+#define CID_LOG_WARN CID_LOG(Warn)
+#define CID_LOG_ERROR CID_LOG(Error)
+
+}  // namespace cid

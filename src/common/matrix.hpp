@@ -1,0 +1,71 @@
+// Column-major 2-D matrix matching the access pattern of the WL-LSMS code in
+// the paper's Listing 4: `atom.vr(0,0)` addresses the first element of a
+// contiguous column-major block, `n_row()` returns the leading dimension, and
+// whole-column payloads are sent as `2*t` contiguous elements.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace cid {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t n_row() const noexcept { return rows_; }
+  std::size_t n_col() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  T& operator()(std::size_t i, std::size_t j) {
+    CID_REQUIRE(i < rows_ && j < cols_, ErrorCode::InvalidArgument,
+                "Matrix index out of range");
+    return data_[j * rows_ + i];
+  }
+  const T& operator()(std::size_t i, std::size_t j) const {
+    CID_REQUIRE(i < rows_ && j < cols_, ErrorCode::InvalidArgument,
+                "Matrix index out of range");
+    return data_[j * rows_ + i];
+  }
+
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+
+  /// Resize preserving the overlapping top-left window (as WL-LSMS's
+  /// resizePotential/resizeCore do when a received payload is larger than the
+  /// local allocation).
+  void resize(std::size_t rows, std::size_t cols, T fill = T{}) {
+    if (rows == rows_ && cols == cols_) return;
+    std::vector<T> next(rows * cols, fill);
+    const std::size_t copy_rows = std::min(rows, rows_);
+    const std::size_t copy_cols = std::min(cols, cols_);
+    for (std::size_t j = 0; j < copy_cols; ++j) {
+      for (std::size_t i = 0; i < copy_rows; ++i) {
+        next[j * rows + i] = data_[j * rows_ + i];
+      }
+    }
+    data_ = std::move(next);
+    rows_ = rows;
+    cols_ = cols;
+  }
+
+  void fill(const T& value) { std::fill(data_.begin(), data_.end(), value); }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace cid

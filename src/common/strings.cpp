@@ -1,0 +1,100 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+
+namespace cid {
+
+namespace {
+bool is_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+}  // namespace
+
+std::string_view trim(std::string_view text) noexcept {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && is_space(text[begin])) ++begin;
+  while (end > begin && is_space(text[end - 1])) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> split(std::string_view text, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delim) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_top_level(std::string_view text,
+                                              char delim) {
+  std::vector<std::string_view> out;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size()) {
+      out.push_back(text.substr(start, i - start));
+      break;
+    }
+    const char c = text[i];
+    if (c == '(' || c == '[' || c == '{') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+    } else if (c == delim && depth == 0) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool contains(std::string_view text, std::string_view needle) noexcept {
+  return text.find(needle) != std::string_view::npos;
+}
+
+std::string replace_all(std::string text, std::string_view from,
+                        std::string_view to) {
+  if (from.empty()) return text;
+  std::size_t pos = 0;
+  while ((pos = text.find(from, pos)) != std::string::npos) {
+    text.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return text;
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) out += separator;
+    out += pieces[i];
+  }
+  return out;
+}
+
+bool is_identifier(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(name[0])) || name[0] == '_')) {
+    return false;
+  }
+  for (char c : name.substr(1)) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace cid

@@ -1,0 +1,38 @@
+// Small string utilities used by the clause parser and translator.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cid {
+
+/// Remove leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text) noexcept;
+
+/// Split on a delimiter character; does NOT trim the pieces.
+std::vector<std::string_view> split(std::string_view text, char delim);
+
+/// Split on a delimiter character at top level only: delimiters nested inside
+/// (), [] or {} are ignored. Used for clause argument lists like
+/// `sbuf(ec,nc,lc,kc)` vs nested calls `count(f(a,b))`.
+std::vector<std::string_view> split_top_level(std::string_view text,
+                                              char delim);
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// True when `text` contains `needle`.
+bool contains(std::string_view text, std::string_view needle) noexcept;
+
+/// Replace every occurrence of `from` with `to`.
+std::string replace_all(std::string text, std::string_view from,
+                        std::string_view to);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// True when `name` is a valid C identifier.
+bool is_identifier(std::string_view name) noexcept;
+
+}  // namespace cid

@@ -1,0 +1,130 @@
+// BufferRef: the type-erased descriptor behind the sbuf/rbuf clauses.
+//
+// A buffer carries everything the directive lowering needs: the address, the
+// element size and type (basic or reflected composite), whether its extent is
+// statically known (arrays, vectors, matrices — used for the paper's count
+// inference), and a display name for diagnostics and codegen.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "core/type_layout.hpp"
+#include "mpi/datatype.hpp"
+
+namespace cid::core {
+
+struct BufferRef {
+  void* data = nullptr;
+  std::size_t element_size = 0;
+  /// Known element count; meaningful only when has_extent.
+  std::size_t extent_count = 0;
+  /// True when the buffer is an array-like object whose size is known (the
+  /// paper: "the directive will generate code with a message size equal to
+  /// the array size" when count is omitted).
+  bool has_extent = false;
+  /// Reflected layout for composite element types; nullptr for basic types.
+  const TypeLayout* layout = nullptr;
+  mpi::BasicType basic = mpi::BasicType::Byte;
+  std::string name;
+
+  bool is_composite() const noexcept { return layout != nullptr; }
+
+  /// Bytes covered by `count` elements.
+  std::size_t span_bytes(std::size_t count) const noexcept {
+    return count * element_size;
+  }
+};
+
+namespace detail {
+
+template <typename T>
+concept BasicElement = std::is_arithmetic_v<T>;
+
+template <typename T>
+BufferRef make_basic(void* data, std::size_t extent, bool has_extent,
+                     std::string name) {
+  BufferRef b;
+  b.data = data;
+  b.element_size = sizeof(T);
+  b.extent_count = extent;
+  b.has_extent = has_extent;
+  b.basic = mpi::basic_type_of<T>();
+  b.name = std::move(name);
+  return b;
+}
+
+template <typename T>
+BufferRef make_composite(void* data, std::size_t extent, bool has_extent,
+                         std::string name) {
+  BufferRef b;
+  b.data = data;
+  b.element_size = sizeof(T);
+  b.extent_count = extent;
+  b.has_extent = has_extent;
+  b.layout = &TypeLayoutOf<T>::get();
+  b.name = std::move(name);
+  return b;
+}
+
+}  // namespace detail
+
+/// Describe a buffer for the sbuf/rbuf clauses. Accepted arguments:
+///  - `T arr[N]`          basic array, extent known (enables count inference)
+///  - `T* p`              basic pointer, extent unknown (count clause needed)
+///  - `std::vector<T>&`   extent known
+///  - `Matrix<T>&`        whole column-major payload, extent known
+///  - reflected struct    one composite element (CID_REFLECT_STRUCT required)
+///  - reflected struct*   composite pointer, extent unknown
+template <typename A>
+BufferRef buf(A&& object, std::string name = {}) {
+  using U = std::remove_reference_t<A>;
+  if constexpr (std::is_array_v<U>) {
+    using E = std::remove_extent_t<U>;
+    static_assert(std::is_arithmetic_v<E>,
+                  "array buffers must have arithmetic elements");
+    return detail::make_basic<E>(object, std::extent_v<U>, true,
+                                 std::move(name));
+  } else if constexpr (std::is_pointer_v<U>) {
+    using E = std::remove_pointer_t<U>;
+    if constexpr (std::is_arithmetic_v<E>) {
+      return detail::make_basic<E>(object, 0, false, std::move(name));
+    } else {
+      static_assert(Reflected<E>,
+                    "composite pointer buffers require CID_REFLECT_STRUCT");
+      return detail::make_composite<E>(object, 0, false, std::move(name));
+    }
+  } else if constexpr (Reflected<U>) {
+    return detail::make_composite<U>(&object, 1, true, std::move(name));
+  } else {
+    static_assert(sizeof(U) == 0,
+                  "unsupported buffer argument; see buf() documentation");
+  }
+}
+
+/// std::vector of basic elements; extent known.
+template <typename T>
+  requires std::is_arithmetic_v<T>
+BufferRef buf(std::vector<T>& vector, std::string name = {}) {
+  return detail::make_basic<T>(vector.data(), vector.size(), true,
+                               std::move(name));
+}
+
+/// cid::Matrix payload (whole storage, column-major contiguous).
+template <typename T>
+  requires std::is_arithmetic_v<T>
+BufferRef buf(Matrix<T>& matrix, std::string name = {}) {
+  return detail::make_basic<T>(matrix.data(), matrix.size(), true,
+                               std::move(name));
+}
+
+/// Basic pointer with an explicitly-known extent (e.g. a slice).
+template <typename T>
+  requires std::is_arithmetic_v<T>
+BufferRef buf_n(T* pointer, std::size_t count, std::string name = {}) {
+  return detail::make_basic<T>(pointer, count, true, std::move(name));
+}
+
+}  // namespace cid::core

@@ -1,0 +1,186 @@
+// The directive clause model: the ten clauses of comm_parameters / comm_p2p
+// (paper Section III-B), their builder API, inheritance (comm_parameters
+// assertions apply to every enclosed comm_p2p) and validation rules.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/buffer.hpp"
+#include "core/expr.hpp"
+
+namespace cid::core {
+
+/// The target clause keywords.
+enum class Target {
+  Mpi2Side,  ///< TARGET_COMM_MPI_2SIDE: MPI_Isend / MPI_Irecv (the default)
+  Mpi1Side,  ///< TARGET_COMM_MPI_1SIDE: MPI_Put
+  Shmem,     ///< TARGET_COMM_SHMEM: typed shmem_put
+};
+
+/// The place_sync clause keywords (comm_parameters only).
+enum class SyncPlacement {
+  EndParamRegion,        ///< END_PARAM_REGION
+  BeginNextParamRegion,  ///< BEGIN_NEXT_PARAM_REGION
+  EndAdjParamRegions,    ///< END_ADJ_PARAM_REGIONS
+};
+
+/// Collective communication patterns — the paper's Section V extension
+/// ("many-to-one, one-to-many and all-to-all patterns" over "groups of
+/// processes").
+enum class Pattern {
+  OneToMany,  ///< PATTERN_ONE_TO_MANY: broadcast from root
+  ManyToOne,  ///< PATTERN_MANY_TO_ONE: gather to root
+  AllToAll,   ///< PATTERN_ALL_TO_ALL: full block exchange
+};
+
+std::string_view target_keyword(Target target) noexcept;
+std::string_view sync_placement_keyword(SyncPlacement placement) noexcept;
+std::string_view pattern_keyword(Pattern pattern) noexcept;
+Result<Target> parse_target_keyword(std::string_view keyword);
+Result<SyncPlacement> parse_sync_placement_keyword(std::string_view keyword);
+Result<Pattern> parse_pattern_keyword(std::string_view keyword);
+
+/// A clause argument: a constant, a parsed expression (evaluated against the
+/// directive environment), or a callable (evaluated at execution time on each
+/// rank — the embedded-API equivalent of a C expression in the pragma).
+class ClauseExpr {
+ public:
+  ClauseExpr() = default;
+  ClauseExpr(ExprValue value) : value_(value), kind_(Kind::Value) {}  // NOLINT
+  ClauseExpr(int value)                                                // NOLINT
+      : value_(value), kind_(Kind::Value) {}
+  ClauseExpr(Expr expr) : expr_(std::move(expr)), kind_(Kind::Parsed) {}  // NOLINT
+  template <typename F>
+    requires std::is_invocable_r_v<ExprValue, F> &&
+             (!std::is_arithmetic_v<std::decay_t<F>>)
+  ClauseExpr(F fn)  // NOLINT(google-explicit-constructor)
+      : fn_(std::move(fn)), kind_(Kind::Callable) {}
+  /// Parses eagerly; a parse failure is reported at evaluation time so the
+  /// builder API stays chainable.
+  ClauseExpr(const char* text) { assign_text(text); }  // NOLINT
+  ClauseExpr(const std::string& text) { assign_text(text); }  // NOLINT
+
+  bool present() const noexcept { return kind_ != Kind::Absent; }
+
+  Result<ExprValue> eval(const Env& env) const;
+
+  /// Human-readable form for diagnostics and codegen.
+  std::string describe() const;
+
+ private:
+  enum class Kind { Absent, Value, Parsed, Callable };
+
+  void assign_text(const std::string& text) {
+    auto parsed = Expr::parse(text);
+    if (parsed.is_ok()) {
+      expr_ = std::move(parsed).take();
+      kind_ = Kind::Parsed;
+    } else {
+      parse_error_ = parsed.status();
+      kind_ = Kind::Parsed;  // present but broken; eval() reports the error
+    }
+  }
+
+  ExprValue value_ = 0;
+  Expr expr_{};
+  std::function<ExprValue()> fn_;
+  Status parse_error_;
+  Kind kind_ = Kind::Absent;
+};
+
+/// A full clause set. Used for both directives; validation differs.
+class Clauses {
+ public:
+  // --- builder ---------------------------------------------------------
+  Clauses& sender(ClauseExpr expr) { sender_ = std::move(expr); return *this; }
+  Clauses& receiver(ClauseExpr expr) { receiver_ = std::move(expr); return *this; }
+  Clauses& sendwhen(ClauseExpr expr) { sendwhen_ = std::move(expr); return *this; }
+  Clauses& receivewhen(ClauseExpr expr) { receivewhen_ = std::move(expr); return *this; }
+  Clauses& count(ClauseExpr expr) { count_ = std::move(expr); return *this; }
+  Clauses& max_comm_iter(ClauseExpr expr) { max_comm_iter_ = std::move(expr); return *this; }
+  Clauses& target(Target target) { target_ = target; return *this; }
+  Clauses& place_sync(SyncPlacement placement) { place_sync_ = placement; return *this; }
+  /// Collective-directive clauses (comm_collective only).
+  Clauses& pattern(Pattern pattern) { pattern_ = pattern; return *this; }
+  Clauses& root(ClauseExpr expr) { root_ = std::move(expr); return *this; }
+  /// Group color: ranks with equal values form one group (< 0 = excluded).
+  Clauses& group(ClauseExpr expr) { group_ = std::move(expr); return *this; }
+  Clauses& sbuf(BufferRef buffer) { sbuf_.push_back(std::move(buffer)); return *this; }
+  Clauses& sbuf(std::initializer_list<BufferRef> buffers) {
+    sbuf_.insert(sbuf_.end(), buffers.begin(), buffers.end());
+    return *this;
+  }
+  Clauses& rbuf(BufferRef buffer) { rbuf_.push_back(std::move(buffer)); return *this; }
+  Clauses& rbuf(std::initializer_list<BufferRef> buffers) {
+    rbuf_.insert(rbuf_.end(), buffers.begin(), buffers.end());
+    return *this;
+  }
+  /// Bind a variable for string clause expressions (snapshot by value).
+  Clauses& let(std::string name, ExprValue value) {
+    bindings_.emplace_back(std::move(name), value);
+    return *this;
+  }
+
+  // --- accessors --------------------------------------------------------
+  const ClauseExpr& sender_clause() const noexcept { return sender_; }
+  const ClauseExpr& receiver_clause() const noexcept { return receiver_; }
+  const ClauseExpr& sendwhen_clause() const noexcept { return sendwhen_; }
+  const ClauseExpr& receivewhen_clause() const noexcept { return receivewhen_; }
+  const ClauseExpr& count_clause() const noexcept { return count_; }
+  const ClauseExpr& max_comm_iter_clause() const noexcept { return max_comm_iter_; }
+  const std::optional<Target>& target_clause() const noexcept { return target_; }
+  const std::optional<SyncPlacement>& place_sync_clause() const noexcept { return place_sync_; }
+  const std::optional<Pattern>& pattern_clause() const noexcept { return pattern_; }
+  const ClauseExpr& root_clause() const noexcept { return root_; }
+  const ClauseExpr& group_clause() const noexcept { return group_; }
+  const std::vector<BufferRef>& sbuf_list() const noexcept { return sbuf_; }
+  const std::vector<BufferRef>& rbuf_list() const noexcept { return rbuf_; }
+  const std::vector<std::pair<std::string, ExprValue>>& bindings() const noexcept {
+    return bindings_;
+  }
+
+  /// Inheritance: p2p clauses layered over a comm_parameters region's
+  /// clauses. Every clause present on the p2p wins; absent ones inherit
+  /// (paper: instances "do not need to re-express these communication
+  /// clauses, but may provide additional assertions").
+  static Clauses merged(const Clauses& region, const Clauses& p2p);
+
+  /// Validation of the clauses written directly on a comm_p2p site (before
+  /// inheritance): rejects the comm_parameters-only clauses place_sync and
+  /// max_comm_iter.
+  Status validate_p2p_site() const;
+
+  /// Validation for a standalone or merged comm_p2p: required clauses
+  /// present, sendwhen/receivewhen paired, buffer lists consistent.
+  Status validate_for_p2p() const;
+
+  /// Validation for a comm_parameters directive: any subset of clauses, with
+  /// sendwhen/receivewhen pairing enforced.
+  Status validate_for_params() const;
+
+  /// Validation for a comm_collective directive: pattern + buffers required,
+  /// root required except for ALL_TO_ALL, point-to-point-only clauses
+  /// rejected.
+  Status validate_for_collective() const;
+
+ private:
+  ClauseExpr sender_;
+  ClauseExpr receiver_;
+  ClauseExpr sendwhen_;
+  ClauseExpr receivewhen_;
+  ClauseExpr count_;
+  ClauseExpr max_comm_iter_;
+  std::optional<Target> target_;
+  std::optional<SyncPlacement> place_sync_;
+  std::optional<Pattern> pattern_;
+  ClauseExpr root_;
+  ClauseExpr group_;
+  std::vector<BufferRef> sbuf_;
+  std::vector<BufferRef> rbuf_;
+  std::vector<std::pair<std::string, ExprValue>> bindings_;
+};
+
+}  // namespace cid::core

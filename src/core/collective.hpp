@@ -1,0 +1,48 @@
+// The collective communication directive — the extension the paper's
+// Section V describes as future work: "extend the directives to express
+// groups of processes, and their collective communication/synchronization in
+// a variety of many-to-one, one-to-many and all-to-all patterns".
+//
+// comm_collective(Clauses()
+//     .pattern(Pattern::OneToMany)   // or ManyToOne / AllToAll
+//     .root(0)                       // group rank of the root (not AllToAll)
+//     .group("rank/4")               // optional: ranks with equal values
+//                                    //   form a group; negative = excluded
+//     .count(n)
+//     .sbuf(...).rbuf(...)
+//     .target(Target::Mpi2Side));    // or Shmem
+//
+// Semantics:
+//  - ONE_TO_MANY: the root's sbuf (count elements) lands in every group
+//    member's rbuf.
+//  - MANY_TO_ONE: each member's sbuf (count elements) lands in the root's
+//    rbuf at block offset group_rank*count; rbuf must hold
+//    group_size*count elements.
+//  - ALL_TO_ALL: block j of each member's sbuf lands at block offset
+//    my_group_rank*count in member j's rbuf; both buffers hold
+//    group_size*count elements.
+//  - group: evaluated on every rank; equal non-negative values form one
+//    group (ordered by rank). Without the clause all ranks form one group.
+//    All ranks must reach the directive (SPMD), like MPI_Comm_split.
+//  - root(expr): the root's GROUP rank (commonly 0).
+//  - Targets: TARGET_COMM_MPI_2SIDE lowers to the tree/ring/pairwise
+//    algorithms of cid::mpi; TARGET_COMM_SHMEM lowers to symmetric-heap puts
+//    with per-source completion flags (rbuf must be symmetric).
+//    TARGET_COMM_MPI_1SIDE is rejected (UnsupportedTarget).
+//
+// Collectives synchronize at the directive (no place_sync interaction); any
+// pending point-to-point operations of an enclosing region are locally
+// completed first so buffer reuse stays ordered.
+#pragma once
+
+#include <source_location>
+
+#include "core/clauses.hpp"
+
+namespace cid::core {
+
+void comm_collective(
+    const Clauses& clauses,
+    std::source_location site = std::source_location::current());
+
+}  // namespace cid::core

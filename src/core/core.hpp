@@ -1,0 +1,11 @@
+// Umbrella header for the communication-intent directive library.
+#pragma once
+
+#include "core/buffer.hpp"       // IWYU pragma: export
+#include "core/clauses.hpp"      // IWYU pragma: export
+#include "core/collective.hpp"   // IWYU pragma: export
+#include "core/expr.hpp"         // IWYU pragma: export
+#include "core/pragma.hpp"       // IWYU pragma: export
+#include "core/region.hpp"       // IWYU pragma: export
+#include "core/stats.hpp"        // IWYU pragma: export
+#include "core/type_layout.hpp"  // IWYU pragma: export

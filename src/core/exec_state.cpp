@@ -1,0 +1,104 @@
+#include "core/exec_state.hpp"
+
+#include "core/trace.hpp"
+#include "shmem/shmem.hpp"
+
+namespace cid::core::detail {
+
+void PendingOps::merge_from(PendingOps&& other) {
+  mpi_requests.insert(mpi_requests.end(), other.mpi_requests.begin(),
+                      other.mpi_requests.end());
+  shmem_expects.insert(shmem_expects.end(), other.shmem_expects.begin(),
+                       other.shmem_expects.end());
+  shmem_flag_updates.insert(shmem_flag_updates.end(),
+                            other.shmem_flag_updates.begin(),
+                            other.shmem_flag_updates.end());
+  shmem_quiet_needed = shmem_quiet_needed || other.shmem_quiet_needed;
+  windows_to_fence.insert(windows_to_fence.end(),
+                          other.windows_to_fence.begin(),
+                          other.windows_to_fence.end());
+  ranges.insert(ranges.end(), other.ranges.begin(), other.ranges.end());
+  other = PendingOps{};
+}
+
+ExecState& ExecState::mine() {
+  thread_local ExecState state;
+  const rt::World* current = &rt::current_ctx().world();
+  if (state.world_ != current) {
+    state = ExecState{};
+    state.world_ = current;
+  }
+  return state;
+}
+
+mpi::Datatype ExecState::datatype_for(const TypeLayout& layout) {
+  auto it = datatype_cache.find(&layout);
+  if (it != datatype_cache.end()) {
+    ++stats.datatype_cache_hits;
+    return it->second;
+  }
+  ++stats.datatypes_created;
+
+  auto& ctx = rt::current_ctx();
+  const auto& host = ctx.model().host;
+  ctx.charge_compute(host.type_create_base +
+                     host.type_create_per_field *
+                         static_cast<simnet::SimTime>(layout.fields.size()));
+  auto datatype = layout.to_datatype();
+  CID_REQUIRE(datatype.is_ok(), ErrorCode::TypeError,
+              datatype.status().to_string());
+  auto [inserted, _] =
+      datatype_cache.emplace(&layout, std::move(datatype).take());
+  return inserted->second;
+}
+
+void ExecState::flush(PendingOps& ops) {
+  const bool trace = detail::active_trace_sink() != nullptr && !ops.empty();
+  simnet::SimTime trace_begin = 0.0;
+  if (trace) trace_begin = rt::current_ctx().clock().now();
+  if (!ops.mpi_requests.empty()) {
+    ++stats.waitalls;
+    stats.requests_retired += ops.mpi_requests.size();
+    mpi::waitall(ops.mpi_requests);
+    ops.mpi_requests.clear();
+    // Flushed persistent slots are complete and restartable.
+    for (auto& [site, slots] : channels) {
+      slots.send_used = 0;
+      slots.recv_used = 0;
+    }
+  }
+  if (!ops.shmem_flag_updates.empty()) {
+    // One fence orders every data put of the epoch before the flag
+    // updates; one flag put per (site, destination) carries the cumulative
+    // message count — the consolidated synchronization of Section III-A.
+    shmem::fence();
+    const int self = rt::current_ctx().rank();
+    for (const auto& update : ops.shmem_flag_updates) {
+      shmem::put_value64(&update.site->flags[self],
+                         update.site->sent_to.at(update.dest), update.dest);
+    }
+    ops.shmem_flag_updates.clear();
+  }
+  for (const auto& expect : ops.shmem_expects) {
+    shmem::wait_until(expect.flag, shmem::Cmp::Ge, expect.expected);
+  }
+  ops.shmem_expects.clear();
+  if (ops.shmem_quiet_needed) {
+    ++stats.shmem_quiets;
+    shmem::quiet();
+    ops.shmem_quiet_needed = false;
+  }
+  for (auto& window : ops.windows_to_fence) {
+    ++stats.window_fences;
+    window.fence();
+  }
+  ops.windows_to_fence.clear();
+  ops.ranges.clear();
+  if (trace) {
+    auto& ctx = rt::current_ctx();
+    record_trace_event({TraceEventKind::Synchronization, ctx.rank(),
+                        trace_begin, ctx.clock().now(), "flush", 0, 0});
+  }
+}
+
+}  // namespace cid::core::detail

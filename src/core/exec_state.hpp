@@ -1,0 +1,158 @@
+// Rank-local executor state: pending (not yet synchronized) communication,
+// carryover synchronization deferred across regions (place_sync), cached
+// derived datatypes ("reused within the function scope"), persistent-request
+// slots per directive site, SHMEM flag words, and cached one-sided windows.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/expr.hpp"
+#include "core/stats.hpp"
+#include "core/type_layout.hpp"
+#include "mpi/mpi.hpp"
+#include "rt/runtime.hpp"
+
+namespace cid::core::detail {
+
+/// A directive site: the lexical position of a comm_p2p (file:line). All
+/// ranks execute the same sites in the same order (SPMD discipline), which
+/// makes site-keyed collective allocations consistent.
+using SiteKey = std::string;
+
+/// Byte range touched by a pending operation, for the adjacency analysis
+/// ("adjacent comm_p2p directives with independent buffers" share one sync).
+struct BufferRange {
+  const std::byte* begin = nullptr;
+  std::size_t size = 0;
+  bool written = false;  ///< receive target (true) vs send source (false)
+};
+
+inline bool ranges_conflict(const BufferRange& a, const BufferRange& b) {
+  if (!a.written && !b.written) return false;  // read-read never conflicts
+  return a.begin < b.begin + b.size && b.begin < a.begin + a.size;
+}
+
+/// A receiver-side SHMEM completion obligation: wait until the site flag
+/// reaches the cumulative expected count.
+struct ShmemExpect {
+  const std::uint64_t* flag = nullptr;
+  std::uint64_t expected = 0;
+};
+
+/// Per-site SHMEM lowering state. Completion flags are an array with one
+/// slot per possible SOURCE rank (single-writer counters), so a site whose
+/// sender changes over time — or that has several senders — stays correct.
+struct ShmemSiteState {
+  std::uint64_t* flags = nullptr;  ///< symmetric array, one slot per PE
+  std::map<int, std::uint64_t> sent_to;        ///< dest PE -> my messages
+  std::map<int, std::uint64_t> expected_from;  ///< src PE -> expected count
+};
+
+/// A sender-side deferred flag update: one per (site, destination) per sync
+/// epoch, published at the consolidated synchronization point instead of
+/// after every message.
+struct ShmemFlagUpdate {
+  ShmemSiteState* site = nullptr;
+  int dest = -1;
+};
+
+/// Everything that still needs synchronization.
+struct PendingOps {
+  std::vector<mpi::Request> mpi_requests;
+  std::vector<ShmemExpect> shmem_expects;
+  std::vector<ShmemFlagUpdate> shmem_flag_updates;
+  bool shmem_quiet_needed = false;
+  std::vector<mpi::Win> windows_to_fence;
+  std::vector<BufferRange> ranges;
+
+  bool empty() const noexcept {
+    return mpi_requests.empty() && shmem_expects.empty() &&
+           shmem_flag_updates.empty() && !shmem_quiet_needed &&
+           windows_to_fence.empty();
+  }
+  void merge_from(PendingOps&& other);
+};
+
+/// Per-site persistent-request slots (the compiler's request table, sized by
+/// the loop's execution count between synchronization points).
+struct ChannelSlots {
+  std::vector<mpi::Request> send_slots;
+  std::vector<mpi::Request> recv_slots;
+  std::size_t send_used = 0;  ///< slots consumed since the last flush
+  std::size_t recv_used = 0;
+};
+
+/// Per-site cached one-sided window.
+struct WindowCacheEntry {
+  mpi::Win win;
+  void* base = nullptr;
+  std::size_t bytes = 0;
+};
+
+/// Per-site cached group communicator for comm_collective (split is
+/// re-issued collectively when the group clause's value changes).
+struct GroupCommEntry {
+  core::ExprValue color = 0;
+  bool valid = false;
+  mpi::Comm comm;
+};
+
+/// Per-site SHMEM collective state. `flags` has 2*npes single-writer slots:
+/// [0, npes) publish data arrival, [npes, 2*npes) acknowledge consumption.
+/// Acks are deferred to the NEXT execution of the site — the proof that the
+/// caller consumed the previous round's buffers — which gives consecutive
+/// one-sided collectives on the same buffers back-pressure without an extra
+/// barrier.
+struct ShmemCollectiveSite {
+  std::uint64_t* flags = nullptr;  ///< symmetric, 2*npes slots
+  std::uint64_t executions = 0;    ///< rounds of this site on this rank
+  std::map<int, std::uint64_t> sent_to;        ///< dest PE -> my data puts
+  std::map<int, std::uint64_t> expected_from;  ///< src PE -> expected data
+  std::map<int, std::uint64_t> acks_sent_to;   ///< dest PE -> my acks
+  std::map<int, std::uint64_t> acks_expected_from;  ///< src PE -> their acks
+};
+
+class Region;
+
+/// The per-rank executor state. Lazily (re)created per SPMD region.
+class ExecState {
+ public:
+  /// State of the calling rank; resets automatically when a new World runs.
+  static ExecState& mine();
+
+  PendingOps pending;
+  /// Sync deferred past a region boundary by place_sync.
+  PendingOps carryover;
+  bool carryover_flush_at_next_region_begin = false;
+  bool carryover_adjacent = false;
+
+  /// Rank-local communication statistics (see core/stats.hpp).
+  CommStats stats;
+
+  std::map<SiteKey, ShmemSiteState> shmem_sites;
+  std::map<SiteKey, ChannelSlots> channels;
+  std::map<SiteKey, WindowCacheEntry> windows;
+  std::map<SiteKey, GroupCommEntry> group_comms;
+  std::map<SiteKey, ShmemCollectiveSite> shmem_collectives;
+  std::map<const TypeLayout*, mpi::Datatype> datatype_cache;
+
+  /// Region nesting stack (owned by the Region RAII objects).
+  std::vector<class RegionImpl*> region_stack;
+
+  /// Cached derived datatype for a reflected layout; charges the model's
+  /// type-creation cost on first use (the paper's per-scope reuse).
+  mpi::Datatype datatype_for(const TypeLayout& layout);
+
+  /// Complete everything in `ops` (waitall / shmem waits / quiet / fences)
+  /// and reset slot usage so persistent requests can be restarted.
+  void flush(PendingOps& ops);
+
+ private:
+  friend struct ExecStateResetCheck;
+  const rt::World* world_ = nullptr;
+};
+
+}  // namespace cid::core::detail

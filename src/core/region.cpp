@@ -1,0 +1,523 @@
+#include "core/region.hpp"
+
+#include <algorithm>
+
+#include "core/exec_state.hpp"
+#include "core/trace.hpp"
+#include "shmem/shmem.hpp"
+
+namespace cid::core {
+
+namespace detail {
+
+/// One open comm_parameters region (lives on the Region RAII stack).
+class RegionImpl {
+ public:
+  Clauses clauses;  ///< already merged with any enclosing region
+  SiteKey site;
+};
+
+namespace {
+
+constexpr int kDirectiveTag = 2000;
+
+SiteKey site_key(const std::source_location& location) {
+  return std::string(location.file_name()) + ":" +
+         std::to_string(location.line());
+}
+
+Env make_env(const Clauses& merged) {
+  Env env;
+  auto& ctx = rt::current_ctx();
+  env.bind("rank", ctx.rank());
+  env.bind("nprocs", ctx.nranks());
+  for (const auto& [name, value] : merged.bindings()) {
+    env.bind(name, value);
+  }
+  return env;
+}
+
+ExprValue eval_clause(const ClauseExpr& clause, const Env& env,
+                      const char* what) {
+  auto value = clause.eval(env);
+  CID_REQUIRE(value.is_ok(), ErrorCode::InvalidClause,
+              std::string(what) + " clause: " + value.status().to_string());
+  return value.value();
+}
+
+void throw_if_error(const Status& status) {
+  if (!status.is_ok()) {
+    throw CidError(status.code(), status.message());
+  }
+}
+
+/// Count inference: explicit count clause, else the smallest known array
+/// extent among the listed buffers (paper Section III-B).
+std::size_t resolve_count(const Clauses& merged, const Env& env) {
+  if (merged.count_clause().present()) {
+    const ExprValue value =
+        eval_clause(merged.count_clause(), env, "count");
+    CID_REQUIRE(value > 0, ErrorCode::InvalidClause,
+                "count clause must evaluate to a positive value, got " +
+                    std::to_string(value));
+    return static_cast<std::size_t>(value);
+  }
+  std::size_t smallest = SIZE_MAX;
+  for (const auto* list : {&merged.sbuf_list(), &merged.rbuf_list()}) {
+    for (const auto& buffer : *list) {
+      if (buffer.has_extent) smallest = std::min(smallest, buffer.extent_count);
+    }
+  }
+  CID_REQUIRE(smallest != SIZE_MAX, ErrorCode::InvalidClause,
+              "count omitted and no listed buffer has a known array extent");
+  CID_REQUIRE(smallest > 0, ErrorCode::InvalidClause,
+              "count inference found a zero-sized array");
+  return smallest;
+}
+
+mpi::Datatype datatype_for_buffer(ExecState& state, const BufferRef& buffer) {
+  if (buffer.is_composite()) return state.datatype_for(*buffer.layout);
+  return mpi::Datatype::basic(buffer.basic);
+}
+
+/// Fetch a persistent slot (growing the site's request table as the
+/// compiler's generated code would), rebinding and starting it.
+mpi::Request& acquire_send_slot(ExecState& state, const SiteKey& site,
+                                const mpi::Comm& comm, const void* buf,
+                                std::size_t count, const mpi::Datatype& dtype,
+                                int dest) {
+  auto& slots = state.channels[site];
+  const std::size_t index = slots.send_used++;
+  if (index < slots.send_slots.size()) {
+    mpi::Request& slot = slots.send_slots[index];
+    if (slot.valid() && !slot.complete()) {
+      // Safety valve: the slot is somehow still in flight; replace it.
+      slot = mpi::send_init(comm, buf, count, dtype, dest, kDirectiveTag);
+    } else {
+      mpi::rebind_send(slot, buf, count);
+    }
+    mpi::start(slot);
+    return slot;
+  }
+  slots.send_slots.push_back(
+      mpi::send_init(comm, buf, count, dtype, dest, kDirectiveTag));
+  mpi::start(slots.send_slots.back());
+  return slots.send_slots.back();
+}
+
+mpi::Request& acquire_recv_slot(ExecState& state, const SiteKey& site,
+                                const mpi::Comm& comm, void* buf,
+                                std::size_t capacity,
+                                const mpi::Datatype& dtype, int source) {
+  auto& slots = state.channels[site];
+  const std::size_t index = slots.recv_used++;
+  if (index < slots.recv_slots.size()) {
+    mpi::Request& slot = slots.recv_slots[index];
+    if (slot.valid() && !slot.complete()) {
+      // Safety valve: the slot is somehow still in flight; replace it.
+      slot = mpi::recv_init(comm, buf, capacity, dtype, source, kDirectiveTag);
+    } else {
+      mpi::rebind_recv(slot, buf, capacity);
+    }
+    mpi::start(slot);
+    return slot;
+  }
+  slots.recv_slots.push_back(
+      mpi::recv_init(comm, buf, capacity, dtype, source, kDirectiveTag));
+  mpi::start(slots.recv_slots.back());
+  return slots.recv_slots.back();
+}
+
+/// Flush only rank-local completions (MPI requests, SHMEM waits/quiet) when
+/// the adjacency analysis finds a buffer conflict. Window fences are
+/// collective and stay deferred to the region end, which every rank reaches.
+void flush_local(ExecState& state, PendingOps& ops) {
+  if (!ops.mpi_requests.empty()) {
+    ++state.stats.waitalls;
+    state.stats.requests_retired += ops.mpi_requests.size();
+    mpi::waitall(ops.mpi_requests);
+    ops.mpi_requests.clear();
+    for (auto& [site, slots] : state.channels) {
+      slots.send_used = 0;
+      slots.recv_used = 0;
+    }
+  }
+  if (!ops.shmem_flag_updates.empty()) {
+    shmem::fence();
+    const int self = rt::current_ctx().rank();
+    for (const auto& update : ops.shmem_flag_updates) {
+      shmem::put_value64(&update.site->flags[self],
+                         update.site->sent_to.at(update.dest), update.dest);
+    }
+    ops.shmem_flag_updates.clear();
+  }
+  for (const auto& expect : ops.shmem_expects) {
+    shmem::wait_until(expect.flag, shmem::Cmp::Ge, expect.expected);
+  }
+  ops.shmem_expects.clear();
+  if (ops.shmem_quiet_needed) {
+    ++state.stats.shmem_quiets;
+    shmem::quiet();
+    ops.shmem_quiet_needed = false;
+  }
+  ops.ranges.clear();
+}
+
+/// The adjacency analysis of Section III-A: adjacent directives with
+/// independent buffers share one synchronization; a dependence forces an
+/// intermediate (local) sync.
+void sync_if_buffers_conflict(ExecState& state,
+                              const std::vector<BufferRange>& incoming) {
+  for (const auto& range : incoming) {
+    for (const auto& pending : state.pending.ranges) {
+      if (ranges_conflict(range, pending)) {
+        ++state.stats.conflict_flushes;
+        flush_local(state, state.pending);
+        return;
+      }
+    }
+  }
+}
+
+void execute_p2p(const Clauses& site_clauses, const RegionImpl* region,
+                 const std::function<void()>* overlap, const SiteKey& site) {
+  auto& ctx = rt::current_ctx();
+  auto& state = ExecState::mine();
+
+  const simnet::SimTime trace_begin = ctx.clock().now();
+  const std::uint64_t trace_bytes0 = state.stats.total_bytes();
+  const std::uint64_t trace_msgs0 = state.stats.total_messages();
+
+  ++state.stats.p2p_directives;
+  throw_if_error(site_clauses.validate_p2p_site());
+  const Clauses merged = region != nullptr
+                             ? Clauses::merged(region->clauses, site_clauses)
+                             : site_clauses;
+  throw_if_error(merged.validate_for_p2p());
+
+  const Env env = make_env(merged);
+  const bool send_active =
+      !merged.sendwhen_clause().present() ||
+      eval_clause(merged.sendwhen_clause(), env, "sendwhen") != 0;
+  const bool recv_active =
+      !merged.receivewhen_clause().present() ||
+      eval_clause(merged.receivewhen_clause(), env, "receivewhen") != 0;
+
+  const std::size_t count = resolve_count(merged, env);
+  const Target target = merged.target_clause().value_or(Target::Mpi2Side);
+  const auto& sbufs = merged.sbuf_list();
+  const auto& rbufs = merged.rbuf_list();
+  const std::size_t pairs = sbufs.size();
+
+  // Destination / source ranks are evaluated lazily: the receiver clause
+  // only on sending ranks, the sender clause only on receiving ranks, so
+  // boundary ranks excluded by sendwhen/receivewhen never evaluate an
+  // out-of-range neighbour expression (paper Listing 2).
+  int receiver_rank = -1;
+  if (send_active) {
+    const ExprValue value =
+        eval_clause(merged.receiver_clause(), env, "receiver");
+    CID_REQUIRE(value >= 0 && value < ctx.nranks(), ErrorCode::InvalidClause,
+                "receiver clause evaluates to out-of-range rank " +
+                    std::to_string(value));
+    receiver_rank = static_cast<int>(value);
+  }
+  int sender_rank = -1;
+  if (recv_active) {
+    const ExprValue value = eval_clause(merged.sender_clause(), env, "sender");
+    CID_REQUIRE(value >= 0 && value < ctx.nranks(), ErrorCode::InvalidClause,
+                "sender clause evaluates to out-of-range rank " +
+                    std::to_string(value));
+    sender_rank = static_cast<int>(value);
+  }
+
+  // Adjacency analysis against pending (unsynchronized) operations.
+  std::vector<BufferRange> touched;
+  if (send_active) {
+    for (const auto& buffer : sbufs) {
+      touched.push_back({static_cast<const std::byte*>(buffer.data),
+                         buffer.span_bytes(count), /*written=*/false});
+    }
+  }
+  if (recv_active) {
+    for (const auto& buffer : rbufs) {
+      touched.push_back({static_cast<const std::byte*>(buffer.data),
+                         buffer.span_bytes(count), /*written=*/true});
+    }
+  }
+  sync_if_buffers_conflict(state, touched);
+
+  const bool in_region = region != nullptr;
+  // Persistent-request tables are generated only for looping regions, which
+  // the programmer marks with max_comm_iter (paper Section III-B: the clause
+  // "will facilitate code generation for synchronizations"); a one-shot
+  // region lowers to plain nonblocking calls.
+  const bool use_persistent =
+      in_region && merged.max_comm_iter_clause().present();
+  const mpi::Comm world = mpi::Comm::world();
+
+  switch (target) {
+    case Target::Mpi2Side: {
+      // Receives are posted before sends so an opportunistic self-message
+      // (receiver_rank == rank) matches immediately.
+      if (recv_active) {
+        for (std::size_t i = 0; i < pairs; ++i) {
+          const mpi::Datatype dtype = datatype_for_buffer(state, rbufs[i]);
+          if (use_persistent) {
+            // Slot identity includes the peer: a persistent request's
+            // source/destination is fixed at init time, so each (site,
+            // buffer index, peer) triple owns its own request table.
+            const SiteKey slot_key = site + "#" + std::to_string(i) + "@" +
+                                     std::to_string(sender_rank);
+            state.pending.mpi_requests.push_back(
+                acquire_recv_slot(state, slot_key, world, rbufs[i].data,
+                                  count, dtype, sender_rank));
+          } else {
+            state.pending.mpi_requests.push_back(mpi::irecv(
+                world, rbufs[i].data, count, dtype, sender_rank,
+                kDirectiveTag));
+          }
+        }
+      }
+      if (send_active) {
+        for (std::size_t i = 0; i < pairs; ++i) {
+          const mpi::Datatype dtype = datatype_for_buffer(state, sbufs[i]);
+          ++state.stats.mpi2_messages;
+          state.stats.mpi2_bytes += count * dtype.payload_size();
+          if (use_persistent) {
+            const SiteKey slot_key = site + "#" + std::to_string(i) + "@" +
+                                     std::to_string(receiver_rank);
+            state.pending.mpi_requests.push_back(
+                acquire_send_slot(state, slot_key, world, sbufs[i].data,
+                                  count, dtype, receiver_rank));
+          } else {
+            state.pending.mpi_requests.push_back(mpi::isend(
+                world, sbufs[i].data, count, dtype, receiver_rank,
+                kDirectiveTag));
+          }
+        }
+      }
+      break;
+    }
+
+    case Target::Shmem: {
+      // All ranks reach the directive (SPMD), so the per-site flag word is a
+      // consistent collective symmetric allocation.
+      // The flag slots start at 0 because the symmetric heap is
+      // zero-initialized; writing them locally here would race with an early
+      // remote flag put from a faster sender. One slot per possible source.
+      // Key-coordinated allocation: ranks that never execute this site do
+      // not disturb the offsets of those that do.
+      auto& shmem_site = state.shmem_sites[site];
+      if (shmem_site.flags == nullptr) {
+        shmem_site.flags = shmem::shared_flags(
+            "cid.p2p." + site, static_cast<std::size_t>(ctx.nranks()));
+      }
+      if (send_active) {
+        for (std::size_t i = 0; i < pairs; ++i) {
+          CID_REQUIRE(shmem::is_symmetric(rbufs[i].data),
+                      ErrorCode::InvalidClause,
+                      "SHMEM target requires rbuf '" + rbufs[i].name +
+                          "' to be a symmetric data object");
+          shmem::putmem(rbufs[i].data, sbufs[i].data,
+                        count * sbufs[i].element_size, receiver_rank);
+          ++state.stats.shmem_puts;
+          state.stats.shmem_bytes += count * sbufs[i].element_size;
+        }
+        shmem_site.sent_to[receiver_rank] += pairs;
+        // The flag publication is deferred to the consolidated sync point:
+        // one fence + one flag put per (site, destination) per epoch.
+        auto& updates = state.pending.shmem_flag_updates;
+        const bool already_pending = std::any_of(
+            updates.begin(), updates.end(), [&](const ShmemFlagUpdate& u) {
+              return u.site == &shmem_site && u.dest == receiver_rank;
+            });
+        if (!already_pending) {
+          updates.push_back({&shmem_site, receiver_rank});
+        }
+        state.pending.shmem_quiet_needed = true;
+      }
+      if (recv_active) {
+        const std::uint64_t* flag = &shmem_site.flags[sender_rank];
+        shmem_site.expected_from[sender_rank] += pairs;
+        // Replace any previous expectation on the same flag slot.
+        auto it = std::find_if(
+            state.pending.shmem_expects.begin(),
+            state.pending.shmem_expects.end(),
+            [&](const ShmemExpect& e) { return e.flag == flag; });
+        if (it != state.pending.shmem_expects.end()) {
+          it->expected = shmem_site.expected_from[sender_rank];
+        } else {
+          state.pending.shmem_expects.push_back(
+              {flag, shmem_site.expected_from[sender_rank]});
+        }
+      }
+      break;
+    }
+
+    case Target::Mpi1Side: {
+      // One window per (site, buffer pair); creation is collective — every
+      // rank reaches the directive and exposes its own rbuf.
+      for (std::size_t i = 0; i < pairs; ++i) {
+        const SiteKey window_key = site + "#" + std::to_string(i);
+        auto& cache = state.windows[window_key];
+        void* expose_base = rbufs[i].data;
+        const std::size_t expose_bytes = count * rbufs[i].element_size;
+        if (!cache.win.valid() || cache.base != expose_base ||
+            cache.bytes != expose_bytes) {
+          cache.win = mpi::Win::create(world, expose_base, expose_bytes);
+          cache.base = expose_base;
+          cache.bytes = expose_bytes;
+        }
+        if (send_active) {
+          const mpi::Datatype dtype = datatype_for_buffer(state, sbufs[i]);
+          cache.win.put(sbufs[i].data, count, dtype, receiver_rank, 0);
+          ++state.stats.mpi1_puts;
+          state.stats.mpi1_bytes += count * dtype.payload_size();
+        }
+        auto& fences = state.pending.windows_to_fence;
+        if (std::find(fences.begin(), fences.end(), cache.win) ==
+            fences.end()) {
+          fences.push_back(cache.win);
+        }
+      }
+      break;
+    }
+  }
+
+  state.pending.ranges.insert(state.pending.ranges.end(), touched.begin(),
+                              touched.end());
+
+  // Communication/computation overlap: the block runs while transfers are
+  // in flight; synchronization comes later (region end or directive end).
+  if (overlap != nullptr && *overlap) {
+    const simnet::SimTime overlap_begin = ctx.clock().now();
+    (*overlap)();
+    if (active_trace_sink() != nullptr) {
+      record_trace_event({TraceEventKind::Overlap, ctx.rank(), overlap_begin,
+                          ctx.clock().now(), site, 0, 0});
+    }
+  }
+
+  if (!in_region) {
+    state.flush(state.pending);
+  }
+
+  if (active_trace_sink() != nullptr) {
+    record_trace_event({TraceEventKind::P2PDirective, ctx.rank(), trace_begin,
+                        ctx.clock().now(), site,
+                        state.stats.total_bytes() - trace_bytes0,
+                        state.stats.total_messages() - trace_msgs0});
+  }
+}
+
+}  // namespace
+}  // namespace detail
+
+void Region::p2p(const Clauses& clauses, std::source_location site) {
+  detail::execute_p2p(clauses, impl_, nullptr, detail::site_key(site));
+}
+
+void Region::p2p(const Clauses& clauses, const std::function<void()>& overlap,
+                 std::source_location site) {
+  detail::execute_p2p(clauses, impl_, &overlap, detail::site_key(site));
+}
+
+void comm_parameters(const Clauses& clauses,
+                     const std::function<void(Region&)>& body,
+                     std::source_location site) {
+  CID_REQUIRE(rt::in_spmd_region(), ErrorCode::RuntimeFault,
+              "comm_parameters outside an SPMD region");
+  detail::throw_if_error(clauses.validate_for_params());
+
+  auto& state = detail::ExecState::mine();
+  auto& trace_ctx = rt::current_ctx();
+  const simnet::SimTime trace_begin = trace_ctx.clock().now();
+
+  // place_sync(BEGIN_NEXT_PARAM_REGION) from an earlier region: its deferred
+  // synchronization happens now, at this region's beginning.
+  if (state.carryover_flush_at_next_region_begin) {
+    state.flush(state.carryover);
+    state.carryover_flush_at_next_region_begin = false;
+  }
+
+  ++state.stats.regions;
+  detail::RegionImpl impl;
+  impl.site = detail::site_key(site);
+  impl.clauses = state.region_stack.empty()
+                     ? clauses
+                     : Clauses::merged(state.region_stack.back()->clauses,
+                                       clauses);
+  state.region_stack.push_back(&impl);
+
+  Region region(impl);
+  try {
+    body(region);
+  } catch (...) {
+    state.region_stack.pop_back();
+    throw;
+  }
+  state.region_stack.pop_back();
+
+  const SyncPlacement placement =
+      impl.clauses.place_sync_clause().value_or(SyncPlacement::EndParamRegion);
+  switch (placement) {
+    case SyncPlacement::EndParamRegion:
+      // A pending END_ADJ_PARAM_REGIONS series also drains here: this is the
+      // first non-deferring region that ends.
+      if (state.carryover_adjacent) {
+        state.flush(state.carryover);
+        state.carryover_adjacent = false;
+      }
+      state.flush(state.pending);
+      break;
+    case SyncPlacement::BeginNextParamRegion:
+      ++state.stats.deferred_syncs;
+      state.carryover.merge_from(std::move(state.pending));
+      state.carryover_flush_at_next_region_begin = true;
+      break;
+    case SyncPlacement::EndAdjParamRegions:
+      ++state.stats.deferred_syncs;
+      state.carryover.merge_from(std::move(state.pending));
+      state.carryover_adjacent = true;
+      break;
+  }
+
+  if (detail::active_trace_sink() != nullptr) {
+    detail::record_trace_event({TraceEventKind::RegionDirective,
+                                trace_ctx.rank(), trace_begin,
+                                trace_ctx.clock().now(),
+                                detail::site_key(site), 0, 0});
+  }
+}
+
+void comm_p2p(const Clauses& clauses, std::source_location site) {
+  CID_REQUIRE(rt::in_spmd_region(), ErrorCode::RuntimeFault,
+              "comm_p2p outside an SPMD region");
+  auto& state = detail::ExecState::mine();
+  const detail::RegionImpl* region =
+      state.region_stack.empty() ? nullptr : state.region_stack.back();
+  detail::execute_p2p(clauses, region, nullptr, detail::site_key(site));
+}
+
+void comm_p2p(const Clauses& clauses, const std::function<void()>& overlap,
+              std::source_location site) {
+  CID_REQUIRE(rt::in_spmd_region(), ErrorCode::RuntimeFault,
+              "comm_p2p outside an SPMD region");
+  auto& state = detail::ExecState::mine();
+  const detail::RegionImpl* region =
+      state.region_stack.empty() ? nullptr : state.region_stack.back();
+  detail::execute_p2p(clauses, region, &overlap, detail::site_key(site));
+}
+
+void comm_flush() {
+  CID_REQUIRE(rt::in_spmd_region(), ErrorCode::RuntimeFault,
+              "comm_flush outside an SPMD region");
+  auto& state = detail::ExecState::mine();
+  state.flush(state.carryover);
+  state.carryover_flush_at_next_region_begin = false;
+  state.carryover_adjacent = false;
+  state.flush(state.pending);
+}
+
+}  // namespace cid::core

@@ -1,0 +1,29 @@
+#include "core/stats.hpp"
+
+#include <sstream>
+
+#include "core/exec_state.hpp"
+
+namespace cid::core {
+
+std::string CommStats::to_string() const {
+  std::ostringstream out;
+  out << "directives: " << p2p_directives << " p2p, " << regions
+      << " regions, " << collective_directives << " collective\n"
+      << "traffic:    " << mpi2_messages << " MPI msgs (" << mpi2_bytes
+      << " B), " << mpi1_puts << " MPI puts (" << mpi1_bytes << " B), "
+      << shmem_puts << " SHMEM puts (" << shmem_bytes << " B)\n"
+      << "sync:       " << waitalls << " waitalls retiring "
+      << requests_retired << " requests, " << shmem_quiets << " quiets, "
+      << window_fences << " fences, " << conflict_flushes
+      << " conflict-forced, " << deferred_syncs << " deferred\n"
+      << "datatypes:  " << datatypes_created << " created, "
+      << datatype_cache_hits << " cache hits";
+  return out.str();
+}
+
+const CommStats& comm_stats() { return detail::ExecState::mine().stats; }
+
+void reset_comm_stats() { detail::ExecState::mine().stats = CommStats{}; }
+
+}  // namespace cid::core

@@ -1,0 +1,59 @@
+// Communication statistics — the introspection side of the paper's thesis
+// that directives make communication analyzable. Because every transfer goes
+// through the directive executor, the intent (pattern, payload, target,
+// synchronization behaviour) is visible and countable; this is the runtime
+// analogue of the static analysis the paper wants compilers to perform.
+//
+// Counters are rank-local (reset when a new SPMD world starts) and cost two
+// integer additions per event.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cid::core {
+
+struct CommStats {
+  // Directive executions.
+  std::uint64_t p2p_directives = 0;
+  std::uint64_t regions = 0;
+  std::uint64_t collective_directives = 0;
+
+  // Message traffic injected by this rank (per target).
+  std::uint64_t mpi2_messages = 0;
+  std::uint64_t mpi2_bytes = 0;
+  std::uint64_t mpi1_puts = 0;
+  std::uint64_t mpi1_bytes = 0;
+  std::uint64_t shmem_puts = 0;
+  std::uint64_t shmem_bytes = 0;
+
+  // Synchronization.
+  std::uint64_t waitalls = 0;          ///< consolidated MPI completions
+  std::uint64_t requests_retired = 0;  ///< requests completed via waitalls
+  std::uint64_t shmem_quiets = 0;
+  std::uint64_t window_fences = 0;
+  std::uint64_t conflict_flushes = 0;  ///< adjacency analysis forced a sync
+  std::uint64_t deferred_syncs = 0;    ///< place_sync moved sync past a region
+
+  // Derived-datatype engine.
+  std::uint64_t datatypes_created = 0;
+  std::uint64_t datatype_cache_hits = 0;
+
+  std::uint64_t total_messages() const noexcept {
+    return mpi2_messages + mpi1_puts + shmem_puts;
+  }
+  std::uint64_t total_bytes() const noexcept {
+    return mpi2_bytes + mpi1_bytes + shmem_bytes;
+  }
+
+  /// Multi-line human-readable report.
+  std::string to_string() const;
+};
+
+/// The calling rank's counters (valid inside an SPMD region).
+const CommStats& comm_stats();
+
+/// Reset the calling rank's counters.
+void reset_comm_stats();
+
+}  // namespace cid::core

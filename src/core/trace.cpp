@@ -1,0 +1,99 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace cid::core {
+
+std::string_view trace_event_kind_name(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::P2PDirective: return "comm_p2p";
+    case TraceEventKind::RegionDirective: return "comm_parameters";
+    case TraceEventKind::CollectiveDirective: return "comm_collective";
+    case TraceEventKind::Synchronization: return "sync";
+    case TraceEventKind::Overlap: return "overlap";
+  }
+  return "event";
+}
+
+struct TraceCollector::Sink {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+};
+
+namespace detail {
+namespace {
+thread_local TraceCollector::Sink* t_sink = nullptr;
+}
+
+TraceCollector::Sink* active_trace_sink() noexcept { return t_sink; }
+
+void record_trace_event(TraceEvent event) {
+  TraceCollector::Sink* sink = t_sink;
+  if (sink == nullptr) return;
+  std::lock_guard<std::mutex> lock(sink->mutex);
+  sink->events.push_back(std::move(event));
+}
+}  // namespace detail
+
+TraceCollector::TraceCollector() : sink_(std::make_shared<Sink>()) {}
+
+TraceCollector::~TraceCollector() = default;
+
+void TraceCollector::attach(rt::RankCtx&) {
+  detail::t_sink = sink_.get();
+}
+
+std::vector<TraceEvent> TraceCollector::events() const {
+  std::lock_guard<std::mutex> lock(sink_->mutex);
+  std::vector<TraceEvent> out = sink_->events;
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.rank != b.rank) return a.rank < b.rank;
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.end < b.end;
+            });
+  return out;
+}
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> lock(sink_->mutex);
+  sink_->events.clear();
+}
+
+namespace {
+void write_json_string(std::ostream& out, const std::string& text) {
+  out << '"';
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (c == '\n') {
+      out << "\\n";
+    } else {
+      out << c;
+    }
+  }
+  out << '"';
+}
+}  // namespace
+
+void TraceCollector::write_chrome_json(std::ostream& out) const {
+  const auto sorted = events();
+  out << "[\n";
+  bool first = true;
+  for (const auto& event : sorted) {
+    if (!first) out << ",\n";
+    first = false;
+    out << R"({"name":)";
+    write_json_string(out, std::string(trace_event_kind_name(event.kind)) +
+                               " " + event.site);
+    out << R"(,"cat":")" << trace_event_kind_name(event.kind) << '"'
+        << R"(,"ph":"X","pid":0,"tid":)" << event.rank << R"(,"ts":)"
+        << event.begin * 1e6 << R"(,"dur":)"
+        << (event.end - event.begin) * 1e6 << R"(,"args":{"bytes":)"
+        << event.bytes << R"(,"messages":)" << event.messages << "}}";
+  }
+  out << "\n]\n";
+}
+
+}  // namespace cid::core

@@ -1,0 +1,85 @@
+// Directive event tracing — a virtual-time timeline of what every rank's
+// directives did (posts, transfers, synchronization waits, collectives),
+// exportable as Chrome trace-event JSON (chrome://tracing, Perfetto).
+//
+// Because timing is virtual and deterministic, a trace is a reproducible
+// artifact: two runs of the same program produce byte-identical timelines.
+// Tracing is off by default; enabling it costs one vector push per event.
+//
+// Usage:
+//   cid::core::TraceCollector trace;           // before rt::run
+//   cid::rt::run(n, [&](auto& ctx) {
+//     trace.attach(ctx);                       // once per rank
+//     ... directives ...
+//   });
+//   std::ofstream out("trace.json");
+//   trace.write_chrome_json(out);
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rt/runtime.hpp"
+#include "simnet/machine_model.hpp"
+
+namespace cid::core {
+
+enum class TraceEventKind : std::uint8_t {
+  P2PDirective,        ///< one comm_p2p execution (span)
+  RegionDirective,     ///< one comm_parameters region (span)
+  CollectiveDirective, ///< one comm_collective execution (span)
+  Synchronization,     ///< a flush: waitall / shmem waits / fences (span)
+  Overlap,             ///< the user's overlapped computation block (span)
+};
+
+std::string_view trace_event_kind_name(TraceEventKind kind) noexcept;
+
+struct TraceEvent {
+  TraceEventKind kind;
+  int rank;
+  simnet::SimTime begin;  ///< virtual seconds
+  simnet::SimTime end;
+  std::string site;       ///< directive site (file:line)
+  std::uint64_t bytes;    ///< payload injected during the span (senders)
+  std::uint64_t messages; ///< messages injected during the span
+};
+
+/// Collects events from every rank of one (or more) SPMD runs.
+class TraceCollector {
+ public:
+  TraceCollector();
+  ~TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Route the calling rank's directive events into this collector. Call
+  /// once per rank, inside the SPMD function, before any directive.
+  void attach(rt::RankCtx& ctx);
+
+  /// All events recorded so far, ordered by (rank, begin).
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace-event JSON (microsecond timestamps = virtual us).
+  void write_chrome_json(std::ostream& out) const;
+
+  /// Drop all recorded events.
+  void clear();
+
+  struct Sink;
+
+ private:
+  std::shared_ptr<Sink> sink_;
+};
+
+namespace detail {
+/// Executor hook: the active sink of the calling rank (nullptr = tracing
+/// off). Set by TraceCollector::attach for the current thread.
+TraceCollector::Sink* active_trace_sink() noexcept;
+void record_trace_event(TraceEvent event);
+}  // namespace detail
+
+}  // namespace cid::core

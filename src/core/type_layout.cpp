@@ -1,0 +1,56 @@
+#include "core/type_layout.hpp"
+
+namespace cid::core {
+
+Status TypeLayout::validate() const {
+  if (fields.empty()) {
+    return Status(ErrorCode::TypeError,
+                  "composite type '" + name + "' reflects no fields");
+  }
+  for (const auto& field : fields) {
+    switch (field.kind) {
+      case FieldKind::Basic:
+        break;
+      case FieldKind::Pointer:
+        return Status(ErrorCode::TypeError,
+                      "pointers within a composite type are prohibited: " +
+                          name + "::" + field.name);
+      case FieldKind::Composite:
+        return Status(
+            ErrorCode::TypeError,
+            "recursively nested composite types are prohibited: " + name +
+                "::" + field.name);
+      case FieldKind::Unsupported:
+        return Status(ErrorCode::TypeError,
+                      "unsupported field type: " + name + "::" + field.name);
+    }
+  }
+  return Status::ok();
+}
+
+std::size_t TypeLayout::payload_size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& field : fields) {
+    if (field.kind == FieldKind::Basic) {
+      total += field.count * mpi::basic_type_size(field.type);
+    }
+  }
+  return total;
+}
+
+Result<mpi::Datatype> TypeLayout::to_datatype() const {
+  CID_RETURN_IF_ERROR(validate());
+  std::vector<mpi::TypeField> wire_fields;
+  wire_fields.reserve(fields.size());
+  for (const auto& field : fields) {
+    wire_fields.push_back(
+        {field.offset, field.count, field.type});
+  }
+  auto datatype = mpi::Datatype::create_struct(std::move(wire_fields), extent);
+  if (!datatype.is_ok()) return datatype.status();
+  mpi::Datatype committed = std::move(datatype).take();
+  committed.commit();
+  return committed;
+}
+
+}  // namespace cid::core

@@ -1,0 +1,181 @@
+// Composite-type reflection: the compile-time layout extraction the paper's
+// compiler performs for composite sbuf/rbuf buffers (Section III-A).
+//
+// For each element of a reflected struct, the displacement, block length and
+// basic type of every field are recorded; to_datatype() turns that into a
+// miniMPI struct datatype (create + commit), which the executor caches and
+// reuses "within the function scope for any communication directive with
+// buffers of the same type", as the paper specifies. Pointers within a
+// composite type and recursively nested composite types are rejected, also
+// per the paper.
+//
+// Usage:
+//   struct AtomScalars { int jmt; double xstart; char header[80]; };
+//   CID_REFLECT_STRUCT(AtomScalars, jmt, xstart, header)
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mpi/datatype.hpp"
+
+namespace cid::core {
+
+enum class FieldKind {
+  Basic,      ///< arithmetic scalar or array of arithmetic
+  Pointer,    ///< prohibited by the directive spec
+  Composite,  ///< nested struct: prohibited (no recursive composites)
+  Unsupported,
+};
+
+struct FieldInfo {
+  std::string name;
+  std::size_t offset = 0;
+  std::size_t count = 1;  ///< array extent (1 for scalars)
+  mpi::BasicType type = mpi::BasicType::Byte;  ///< valid when kind == Basic
+  FieldKind kind = FieldKind::Unsupported;
+};
+
+struct TypeLayout {
+  std::string name;
+  std::size_t extent = 0;  ///< sizeof the struct
+  std::vector<FieldInfo> fields;
+
+  /// Enforce the directive rules: every field Basic, none Pointer/Composite.
+  Status validate() const;
+
+  /// Total payload bytes of one element (sum of field blocks).
+  std::size_t payload_size() const noexcept;
+
+  /// Build (and commit) the equivalent miniMPI struct datatype. Fails when
+  /// validate() fails.
+  Result<mpi::Datatype> to_datatype() const;
+};
+
+namespace detail {
+
+template <typename M>
+void append_field(TypeLayout& layout, const char* name, std::size_t offset) {
+  FieldInfo field;
+  field.name = name;
+  field.offset = offset;
+  using Element = std::remove_all_extents_t<M>;
+  if constexpr (std::is_pointer_v<M> || std::is_pointer_v<Element> ||
+                std::is_member_pointer_v<M>) {
+    field.kind = FieldKind::Pointer;
+  } else if constexpr (std::is_array_v<M>) {
+    if constexpr (std::is_arithmetic_v<Element>) {
+      field.kind = FieldKind::Basic;
+      field.count = sizeof(M) / sizeof(Element);
+      field.type = mpi::basic_type_of<Element>();
+    } else {
+      field.kind = FieldKind::Composite;
+    }
+  } else if constexpr (std::is_arithmetic_v<M>) {
+    field.kind = FieldKind::Basic;
+    field.count = 1;
+    field.type = mpi::basic_type_of<M>();
+  } else if constexpr (std::is_class_v<M> || std::is_union_v<M>) {
+    field.kind = FieldKind::Composite;
+  } else {
+    field.kind = FieldKind::Unsupported;
+  }
+  layout.fields.push_back(std::move(field));
+}
+
+}  // namespace detail
+
+/// Specialized by CID_REFLECT_STRUCT; primary template flags missing
+/// reflection with a readable error.
+template <typename T>
+struct TypeLayoutOf {
+  static_assert(sizeof(T) == 0,
+                "type used in a directive buffer without CID_REFLECT_STRUCT");
+};
+
+/// Satisfied by types that have been reflected with CID_REFLECT_STRUCT.
+template <typename T>
+concept Reflected = requires {
+  { TypeLayoutOf<T>::get() } -> std::same_as<const TypeLayout&>;
+};
+
+// --- macro plumbing: FOR_EACH over up to 32 fields -------------------------
+
+#define CID_DETAIL_FIELD(Type, member)                                      \
+  ::cid::core::detail::append_field<decltype(Type::member)>(               \
+      layout_, #member, offsetof(Type, member));
+
+#define CID_DETAIL_FE_1(T, a) CID_DETAIL_FIELD(T, a)
+#define CID_DETAIL_FE_2(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_1(T, __VA_ARGS__)
+#define CID_DETAIL_FE_3(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_2(T, __VA_ARGS__)
+#define CID_DETAIL_FE_4(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_3(T, __VA_ARGS__)
+#define CID_DETAIL_FE_5(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_4(T, __VA_ARGS__)
+#define CID_DETAIL_FE_6(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_5(T, __VA_ARGS__)
+#define CID_DETAIL_FE_7(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_6(T, __VA_ARGS__)
+#define CID_DETAIL_FE_8(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_7(T, __VA_ARGS__)
+#define CID_DETAIL_FE_9(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_8(T, __VA_ARGS__)
+#define CID_DETAIL_FE_10(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_9(T, __VA_ARGS__)
+#define CID_DETAIL_FE_11(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_10(T, __VA_ARGS__)
+#define CID_DETAIL_FE_12(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_11(T, __VA_ARGS__)
+#define CID_DETAIL_FE_13(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_12(T, __VA_ARGS__)
+#define CID_DETAIL_FE_14(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_13(T, __VA_ARGS__)
+#define CID_DETAIL_FE_15(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_14(T, __VA_ARGS__)
+#define CID_DETAIL_FE_16(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_15(T, __VA_ARGS__)
+#define CID_DETAIL_FE_17(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_16(T, __VA_ARGS__)
+#define CID_DETAIL_FE_18(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_17(T, __VA_ARGS__)
+#define CID_DETAIL_FE_19(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_18(T, __VA_ARGS__)
+#define CID_DETAIL_FE_20(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_19(T, __VA_ARGS__)
+#define CID_DETAIL_FE_21(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_20(T, __VA_ARGS__)
+#define CID_DETAIL_FE_22(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_21(T, __VA_ARGS__)
+#define CID_DETAIL_FE_23(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_22(T, __VA_ARGS__)
+#define CID_DETAIL_FE_24(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_23(T, __VA_ARGS__)
+#define CID_DETAIL_FE_25(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_24(T, __VA_ARGS__)
+#define CID_DETAIL_FE_26(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_25(T, __VA_ARGS__)
+#define CID_DETAIL_FE_27(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_26(T, __VA_ARGS__)
+#define CID_DETAIL_FE_28(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_27(T, __VA_ARGS__)
+#define CID_DETAIL_FE_29(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_28(T, __VA_ARGS__)
+#define CID_DETAIL_FE_30(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_29(T, __VA_ARGS__)
+#define CID_DETAIL_FE_31(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_30(T, __VA_ARGS__)
+#define CID_DETAIL_FE_32(T, a, ...) CID_DETAIL_FIELD(T, a) CID_DETAIL_FE_31(T, __VA_ARGS__)
+
+#define CID_DETAIL_GET_MACRO(_1, _2, _3, _4, _5, _6, _7, _8, _9, _10, _11,   \
+                             _12, _13, _14, _15, _16, _17, _18, _19, _20,    \
+                             _21, _22, _23, _24, _25, _26, _27, _28, _29,    \
+                             _30, _31, _32, NAME, ...)                        \
+  NAME
+
+#define CID_DETAIL_FOR_EACH(T, ...)                                          \
+  CID_DETAIL_GET_MACRO(                                                      \
+      __VA_ARGS__, CID_DETAIL_FE_32, CID_DETAIL_FE_31, CID_DETAIL_FE_30,     \
+      CID_DETAIL_FE_29, CID_DETAIL_FE_28, CID_DETAIL_FE_27,                  \
+      CID_DETAIL_FE_26, CID_DETAIL_FE_25, CID_DETAIL_FE_24,                  \
+      CID_DETAIL_FE_23, CID_DETAIL_FE_22, CID_DETAIL_FE_21,                  \
+      CID_DETAIL_FE_20, CID_DETAIL_FE_19, CID_DETAIL_FE_18,                  \
+      CID_DETAIL_FE_17, CID_DETAIL_FE_16, CID_DETAIL_FE_15,                  \
+      CID_DETAIL_FE_14, CID_DETAIL_FE_13, CID_DETAIL_FE_12,                  \
+      CID_DETAIL_FE_11, CID_DETAIL_FE_10, CID_DETAIL_FE_9, CID_DETAIL_FE_8,  \
+      CID_DETAIL_FE_7, CID_DETAIL_FE_6, CID_DETAIL_FE_5, CID_DETAIL_FE_4,    \
+      CID_DETAIL_FE_3, CID_DETAIL_FE_2, CID_DETAIL_FE_1)                     \
+  (T, __VA_ARGS__)
+
+}  // namespace cid::core
+
+/// Reflect a struct's fields for directive buffer use. Must appear at global
+/// namespace scope, after the struct definition.
+#define CID_REFLECT_STRUCT(Type, ...)                                        \
+  template <>                                                                \
+  struct cid::core::TypeLayoutOf<Type> {                                     \
+    static const ::cid::core::TypeLayout& get() {                           \
+      static const ::cid::core::TypeLayout layout = [] {                    \
+        ::cid::core::TypeLayout layout_;                                    \
+        layout_.name = #Type;                                               \
+        layout_.extent = sizeof(Type);                                      \
+        CID_DETAIL_FOR_EACH(Type, __VA_ARGS__)                              \
+        return layout_;                                                     \
+      }();                                                                  \
+      return layout;                                                        \
+    }                                                                       \
+  };

@@ -1,0 +1,206 @@
+#include "mpi/datatype.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <mutex>
+
+namespace cid::mpi {
+
+std::size_t basic_type_size(BasicType type) noexcept {
+  switch (type) {
+    case BasicType::Char:
+    case BasicType::SignedChar:
+    case BasicType::UnsignedChar:
+    case BasicType::Byte:
+    case BasicType::Packed:
+      return 1;
+    case BasicType::Short:
+      return sizeof(short);
+    case BasicType::Int:
+    case BasicType::UnsignedInt:
+      return sizeof(int);
+    case BasicType::Long:
+    case BasicType::UnsignedLong:
+      return sizeof(long);
+    case BasicType::LongLong:
+      return sizeof(long long);
+    case BasicType::Float:
+      return sizeof(float);
+    case BasicType::Double:
+      return sizeof(double);
+    case BasicType::LongDouble:
+      return sizeof(long double);
+  }
+  return 1;
+}
+
+std::string_view basic_type_name(BasicType type) noexcept {
+  switch (type) {
+    case BasicType::Char: return "MPI_CHAR";
+    case BasicType::SignedChar: return "MPI_SIGNED_CHAR";
+    case BasicType::UnsignedChar: return "MPI_UNSIGNED_CHAR";
+    case BasicType::Short: return "MPI_SHORT";
+    case BasicType::Int: return "MPI_INT";
+    case BasicType::UnsignedInt: return "MPI_UNSIGNED";
+    case BasicType::Long: return "MPI_LONG";
+    case BasicType::UnsignedLong: return "MPI_UNSIGNED_LONG";
+    case BasicType::LongLong: return "MPI_LONG_LONG";
+    case BasicType::Float: return "MPI_FLOAT";
+    case BasicType::Double: return "MPI_DOUBLE";
+    case BasicType::LongDouble: return "MPI_LONG_DOUBLE";
+    case BasicType::Byte: return "MPI_BYTE";
+    case BasicType::Packed: return "MPI_PACKED";
+  }
+  return "MPI_UNKNOWN";
+}
+
+struct Datatype::Impl {
+  bool is_basic = true;
+  BasicType basic = BasicType::Byte;
+  std::vector<TypeField> fields;
+  std::size_t extent = 1;
+  std::size_t payload = 1;
+  bool contiguous = true;
+  bool committed = false;
+};
+
+Datatype Datatype::basic(BasicType type) {
+  // One shared immutable Impl per basic type.
+  static std::mutex mutex;
+  static std::array<std::shared_ptr<Impl>, 14> cache;
+  const auto index = static_cast<std::size_t>(type);
+  std::lock_guard<std::mutex> lock(mutex);
+  if (!cache[index]) {
+    auto impl = std::make_shared<Impl>();
+    impl->is_basic = true;
+    impl->basic = type;
+    impl->extent = basic_type_size(type);
+    impl->payload = impl->extent;
+    impl->contiguous = true;
+    impl->committed = true;
+    cache[index] = std::move(impl);
+  }
+  return Datatype(cache[index]);
+}
+
+Result<Datatype> Datatype::create_struct(std::vector<TypeField> fields,
+                                         std::size_t extent) {
+  if (fields.empty()) {
+    return Status(ErrorCode::TypeError,
+                  "derived struct type needs at least one field");
+  }
+  if (extent == 0) {
+    return Status(ErrorCode::TypeError, "derived struct extent cannot be 0");
+  }
+  std::size_t payload = 0;
+  for (const auto& field : fields) {
+    if (field.block_length == 0) {
+      return Status(ErrorCode::TypeError, "field block_length cannot be 0");
+    }
+    if (field.type == BasicType::Packed) {
+      return Status(ErrorCode::TypeError,
+                    "MPI_PACKED cannot appear inside a struct type");
+    }
+    const std::size_t bytes = field.block_length * basic_type_size(field.type);
+    if (field.displacement + bytes > extent) {
+      return Status(ErrorCode::TypeError,
+                    "field extends past the struct extent");
+    }
+    payload += bytes;
+  }
+  // Reject overlapping fields: sort a copy by displacement and check.
+  std::vector<TypeField> sorted = fields;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TypeField& a, const TypeField& b) {
+              return a.displacement < b.displacement;
+            });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    const auto& prev = sorted[i - 1];
+    const std::size_t prev_end =
+        prev.displacement + prev.block_length * basic_type_size(prev.type);
+    if (sorted[i].displacement < prev_end) {
+      return Status(ErrorCode::TypeError, "struct fields overlap");
+    }
+  }
+  auto impl = std::make_shared<Impl>();
+  impl->is_basic = false;
+  impl->fields = std::move(fields);
+  impl->extent = extent;
+  impl->payload = payload;
+  // Contiguous = payload fills the extent starting at 0 with no holes.
+  impl->contiguous = (payload == extent);
+  impl->committed = false;
+  return Datatype(std::move(impl));
+}
+
+void Datatype::commit() noexcept { impl_->committed = true; }
+bool Datatype::committed() const noexcept { return impl_->committed; }
+bool Datatype::is_basic() const noexcept { return impl_->is_basic; }
+
+BasicType Datatype::basic_type() const {
+  CID_REQUIRE(impl_->is_basic, ErrorCode::InvalidArgument,
+              "basic_type() on a derived datatype");
+  return impl_->basic;
+}
+
+std::size_t Datatype::extent() const noexcept { return impl_->extent; }
+std::size_t Datatype::payload_size() const noexcept { return impl_->payload; }
+bool Datatype::is_contiguous() const noexcept { return impl_->contiguous; }
+std::size_t Datatype::field_count() const noexcept {
+  return impl_->is_basic ? 1 : impl_->fields.size();
+}
+const std::vector<TypeField>& Datatype::fields() const noexcept {
+  return impl_->fields;
+}
+
+ByteBuffer Datatype::gather(const void* base, std::size_t count) const {
+  CID_REQUIRE(committed(), ErrorCode::InvalidArgument,
+              "datatype used before commit()");
+  const auto* src = static_cast<const std::byte*>(base);
+  ByteBuffer out(payload_size() * count);
+  if (is_contiguous()) {
+    std::memcpy(out.data(), src, out.size());
+    return out;
+  }
+  std::size_t pos = 0;
+  for (std::size_t e = 0; e < count; ++e) {
+    const std::byte* element = src + e * extent();
+    for (const auto& field : impl_->fields) {
+      const std::size_t bytes =
+          field.block_length * basic_type_size(field.type);
+      std::memcpy(out.data() + pos, element + field.displacement, bytes);
+      pos += bytes;
+    }
+  }
+  return out;
+}
+
+Status Datatype::scatter(ByteSpan wire, void* base, std::size_t count) const {
+  CID_REQUIRE(committed(), ErrorCode::InvalidArgument,
+              "datatype used before commit()");
+  if (wire.size() != payload_size() * count) {
+    return Status(ErrorCode::InvalidArgument,
+                  "wire buffer size does not match datatype payload: got " +
+                      std::to_string(wire.size()) + ", want " +
+                      std::to_string(payload_size() * count));
+  }
+  auto* dst = static_cast<std::byte*>(base);
+  if (is_contiguous()) {
+    std::memcpy(dst, wire.data(), wire.size());
+    return Status::ok();
+  }
+  std::size_t pos = 0;
+  for (std::size_t e = 0; e < count; ++e) {
+    std::byte* element = dst + e * extent();
+    for (const auto& field : impl_->fields) {
+      const std::size_t bytes =
+          field.block_length * basic_type_size(field.type);
+      std::memcpy(element + field.displacement, wire.data() + pos, bytes);
+      pos += bytes;
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace cid::mpi

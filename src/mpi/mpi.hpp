@@ -1,0 +1,10 @@
+// Umbrella header for miniMPI.
+#pragma once
+
+#include "mpi/collectives.hpp"  // IWYU pragma: export
+#include "mpi/comm.hpp"      // IWYU pragma: export
+#include "mpi/datatype.hpp"  // IWYU pragma: export
+#include "mpi/p2p.hpp"       // IWYU pragma: export
+#include "mpi/pack.hpp"      // IWYU pragma: export
+#include "mpi/request.hpp"   // IWYU pragma: export
+#include "mpi/win.hpp"       // IWYU pragma: export

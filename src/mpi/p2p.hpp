@@ -1,0 +1,116 @@
+// miniMPI point-to-point operations: blocking and nonblocking send/receive,
+// completion (wait / waitall / test), and persistent requests
+// (send_init / recv_init / start) — the building blocks every directive
+// lowering in cid::core targets.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/datatype.hpp"
+#include "mpi/request.hpp"
+
+namespace cid::mpi {
+
+/// Nonblocking send of `count` elements of `dtype` at `buf` to comm rank
+/// `dest`. The request is complete immediately for eager payloads; for
+/// rendezvous payloads (above the model's eager threshold) its completion
+/// time is the delivery time.
+Request isend(const Comm& comm, const void* buf, std::size_t count,
+              const Datatype& dtype, int dest, int tag);
+
+/// Nonblocking receive of up to `capacity` elements into `buf` from comm
+/// rank `source` (or kAnySource) with tag `tag` (or kAnyTag).
+Request irecv(const Comm& comm, void* buf, std::size_t capacity,
+              const Datatype& dtype, int source, int tag);
+
+/// Blocking variants.
+void send(const Comm& comm, const void* buf, std::size_t count,
+          const Datatype& dtype, int dest, int tag);
+RecvStatus recv(const Comm& comm, void* buf, std::size_t capacity,
+                const Datatype& dtype, int source, int tag);
+
+/// MPI_Wait: block until the request completes. Charges the per-call wait
+/// overhead (the cost the paper's sync-consolidation analysis removes).
+RecvStatus wait(Request& request);
+
+/// MPI_Waitall: one aggregate completion call for all requests.
+void waitall(std::span<Request> requests);
+
+/// MPI_Test: returns true (and finalizes the request) if complete.
+bool test(Request& request);
+
+/// MPI_Waitany: block until at least one request completes; returns its
+/// index and nulls that entry (MPI_REQUEST_NULL). Invalid entries are
+/// skipped; returns -1 when every entry is invalid.
+int waitany(std::span<Request> requests);
+
+/// MPI_Waitsome: complete every request that is already (or becomes) ready —
+/// at least one — appending their indices to `ready` and nulling the
+/// completed entries. Returns the count.
+int waitsome(std::span<Request> requests, std::vector<int>& ready);
+
+/// Persistent requests (MPI_Send_init / MPI_Recv_init / MPI_Start /
+/// MPI_Startall). Directive-generated code inside a comm_parameters region
+/// uses these: setup cost is paid once, each start is cheaper than a full
+/// isend/irecv.
+Request send_init(const Comm& comm, const void* buf, std::size_t count,
+                  const Datatype& dtype, int dest, int tag);
+Request recv_init(const Comm& comm, void* buf, std::size_t capacity,
+                  const Datatype& dtype, int source, int tag);
+void start(Request& request);
+void startall(std::span<Request> requests);
+
+/// Update the buffer binding of an INACTIVE persistent request before
+/// restarting it. Models compiler-generated code that hoists argument
+/// marshalling out of a loop while the loop walks through an array
+/// (&buf[p] per iteration) — the datatype, peer and tag stay fixed.
+void rebind_send(Request& request, const void* buf, std::size_t count);
+void rebind_recv(Request& request, void* buf, std::size_t capacity);
+
+/// MPI_Sendrecv: post the receive, inject the send, complete both (safe for
+/// shift patterns that would deadlock with two blocking calls).
+RecvStatus sendrecv(const Comm& comm, const void* send_buf,
+                    std::size_t send_count, const Datatype& send_type,
+                    int dest, int send_tag, void* recv_buf,
+                    std::size_t recv_capacity, const Datatype& recv_type,
+                    int source, int recv_tag);
+
+/// MPI_Probe / MPI_Iprobe: wait for (or test) a matching message without
+/// receiving it; returns its status (count in elements of `dtype`).
+RecvStatus probe(const Comm& comm, int source, int tag,
+                 const Datatype& dtype);
+bool iprobe(const Comm& comm, int source, int tag, const Datatype& dtype,
+            RecvStatus* status);
+
+/// MPI_Barrier over the communicator.
+inline void barrier(const Comm& comm) { comm.barrier(); }
+
+// ---- Typed convenience overloads -----------------------------------------
+
+template <typename T>
+Request isend(const Comm& comm, const T* buf, std::size_t count, int dest,
+              int tag) {
+  return isend(comm, buf, count, datatype_of<T>(), dest, tag);
+}
+
+template <typename T>
+Request irecv(const Comm& comm, T* buf, std::size_t capacity, int source,
+              int tag) {
+  return irecv(comm, buf, capacity, datatype_of<T>(), source, tag);
+}
+
+template <typename T>
+void send(const Comm& comm, const T* buf, std::size_t count, int dest,
+          int tag) {
+  send(comm, buf, count, datatype_of<T>(), dest, tag);
+}
+
+template <typename T>
+RecvStatus recv(const Comm& comm, T* buf, std::size_t capacity, int source,
+                int tag) {
+  return recv(comm, buf, capacity, datatype_of<T>(), source, tag);
+}
+
+}  // namespace cid::mpi

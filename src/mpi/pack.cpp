@@ -1,0 +1,55 @@
+#include "mpi/pack.hpp"
+
+#include <cstring>
+
+#include "rt/runtime.hpp"
+
+namespace cid::mpi {
+
+namespace {
+void charge_pack(std::size_t bytes) {
+  auto& ctx = rt::current_ctx();
+  const auto& host = ctx.model().host;
+  ctx.charge_compute(host.pack_call_overhead +
+                     static_cast<simnet::SimTime>(bytes) /
+                         host.pack_bytes_per_second);
+}
+}  // namespace
+
+std::size_t pack_size(std::size_t count, const Datatype& dtype) {
+  return count * dtype.payload_size();
+}
+
+void pack(const Comm& comm, const void* inbuf, std::size_t count,
+          const Datatype& dtype, MutableByteSpan outbuf,
+          std::size_t& position) {
+  CID_REQUIRE(comm.valid(), ErrorCode::InvalidArgument,
+              "pack on invalid communicator");
+  CID_REQUIRE(inbuf != nullptr, ErrorCode::InvalidArgument,
+              "pack input buffer is null");
+  const ByteBuffer wire = dtype.gather(inbuf, count);
+  CID_REQUIRE(position + wire.size() <= outbuf.size(),
+              ErrorCode::InvalidArgument,
+              "pack overflows the output buffer");
+  std::memcpy(outbuf.data() + position, wire.data(), wire.size());
+  position += wire.size();
+  charge_pack(wire.size());
+}
+
+void unpack(const Comm& comm, ByteSpan inbuf, std::size_t& position,
+            void* outbuf, std::size_t count, const Datatype& dtype) {
+  CID_REQUIRE(comm.valid(), ErrorCode::InvalidArgument,
+              "unpack on invalid communicator");
+  CID_REQUIRE(outbuf != nullptr, ErrorCode::InvalidArgument,
+              "unpack output buffer is null");
+  const std::size_t bytes = count * dtype.payload_size();
+  CID_REQUIRE(position + bytes <= inbuf.size(), ErrorCode::InvalidArgument,
+              "unpack reads past the end of the input buffer");
+  const Status status =
+      dtype.scatter(inbuf.subspan(position, bytes), outbuf, count);
+  CID_REQUIRE(status.is_ok(), ErrorCode::InvalidArgument, status.to_string());
+  position += bytes;
+  charge_pack(bytes);
+}
+
+}  // namespace cid::mpi

@@ -1,0 +1,40 @@
+// MPI_Pack / MPI_Unpack: the explicit marshalling API the original WL-LSMS
+// single-atom-data transfer uses (paper Listing 4). Each call charges the
+// per-call overhead plus a streaming copy cost, which is exactly the cost the
+// directive's derived-datatype path avoids.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/datatype.hpp"
+
+namespace cid::mpi {
+
+/// Bytes needed to pack `count` elements of `dtype` (MPI_Pack_size).
+std::size_t pack_size(std::size_t count, const Datatype& dtype);
+
+/// Append `count` elements at `inbuf` to `outbuf` at `position`; advances
+/// `position`. Throws on overflow of `outbuf`.
+void pack(const Comm& comm, const void* inbuf, std::size_t count,
+          const Datatype& dtype, MutableByteSpan outbuf,
+          std::size_t& position);
+
+/// Extract `count` elements from `inbuf` at `position` into `outbuf`;
+/// advances `position`. Throws on underflow of `inbuf`.
+void unpack(const Comm& comm, ByteSpan inbuf, std::size_t& position,
+            void* outbuf, std::size_t count, const Datatype& dtype);
+
+/// Typed conveniences.
+template <typename T>
+void pack(const Comm& comm, const T* inbuf, std::size_t count,
+          MutableByteSpan outbuf, std::size_t& position) {
+  pack(comm, inbuf, count, datatype_of<T>(), outbuf, position);
+}
+
+template <typename T>
+void unpack(const Comm& comm, ByteSpan inbuf, std::size_t& position,
+            T* outbuf, std::size_t count) {
+  unpack(comm, inbuf, position, outbuf, count, datatype_of<T>());
+}
+
+}  // namespace cid::mpi

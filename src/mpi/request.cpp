@@ -1,0 +1,139 @@
+#include "mpi/request.hpp"
+
+#include <algorithm>
+
+#include "rt/envelope.hpp"
+
+namespace cid::mpi {
+
+namespace {
+
+/// Matching predicate for one posted receive.
+bool envelope_matches(const rt::Envelope& envelope,
+                      const detail::RequestImpl& request) {
+  if (envelope.channel != rt::Channel::MpiPointToPoint) return false;
+  if (envelope.context != request.comm.context()) return false;
+  if (request.match_tag != kAnyTag && envelope.tag != request.match_tag) {
+    return false;
+  }
+  const int src_comm_rank = request.comm.comm_rank_of_world(envelope.src);
+  if (src_comm_rank < 0) return false;  // not a member of this communicator
+  if (request.match_source != kAnySource &&
+      src_comm_rank != request.match_source) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Engine& Engine::mine() {
+  auto& ctx = rt::current_ctx();
+  auto engines =
+      ctx.world().shared_object<std::vector<Engine>>("mpi.engines",
+                                                     ctx.nranks());
+  return (*engines)[ctx.rank()];
+}
+
+void Engine::post_recv(const std::shared_ptr<detail::RequestImpl>& request) {
+  request->post_order = next_post_order_++;
+  posted_.push_back(request);
+}
+
+void Engine::deliver(rt::RankCtx& ctx, detail::RequestImpl& request,
+                     const rt::Envelope& envelope) {
+  const std::size_t element_bytes = request.dtype.payload_size();
+  const std::size_t wire_bytes = envelope.payload.size();
+  CID_REQUIRE(element_bytes > 0 && wire_bytes % element_bytes == 0,
+              ErrorCode::RuntimeFault,
+              "incoming message of " + std::to_string(wire_bytes) +
+                  " bytes is not a whole number of " +
+                  std::to_string(element_bytes) + "-byte elements");
+  const std::size_t count = wire_bytes / element_bytes;
+  CID_REQUIRE(count <= request.recv_capacity, ErrorCode::RuntimeFault,
+              "message truncation: incoming " + std::to_string(count) +
+                  " elements exceed posted capacity " +
+                  std::to_string(request.recv_capacity));
+
+  const Status scatter_status = request.dtype.scatter(
+      ByteSpan(envelope.payload.data(), wire_bytes), request.recv_buf, count);
+  CID_REQUIRE(scatter_status.is_ok(), ErrorCode::RuntimeFault,
+              scatter_status.to_string());
+  if (!request.dtype.is_contiguous()) {
+    // Engine walks the derived layout on delivery instead of a flat copy.
+    ctx.charge_compute(static_cast<simnet::SimTime>(wire_bytes) /
+                       ctx.model().host.datatype_pack_bytes_per_second);
+  }
+
+  request.status.source = request.comm.comm_rank_of_world(envelope.src);
+  request.status.tag = envelope.tag;
+  request.status.count = count;
+  request.complete_at = envelope.available_at;
+  request.complete = true;
+  request.active = false;
+}
+
+void Engine::progress(rt::RankCtx& ctx) {
+  // Message-driven matching, like an MPI progress engine: take arriving
+  // envelopes one at a time (in arrival order) and hand each to the FIRST
+  // posted incomplete receive it matches. Extracting the envelope and
+  // choosing its receive atomically (per envelope) avoids the race where a
+  // message arriving mid-sweep is claimed by a later posted receive after
+  // an earlier matching receive already scanned an empty queue.
+  for (;;) {
+    auto envelope = ctx.mailbox().try_extract([&](const rt::Envelope& e) {
+      for (const auto& posted : posted_) {
+        if (!posted->complete && envelope_matches(e, *posted)) return true;
+      }
+      return false;
+    });
+    if (!envelope) break;
+    for (auto& posted : posted_) {
+      if (!posted->complete && envelope_matches(*envelope, *posted)) {
+        deliver(ctx, *posted, *envelope);
+        break;
+      }
+    }
+  }
+  posted_.erase(std::remove_if(posted_.begin(), posted_.end(),
+                               [](const auto& r) { return r->complete; }),
+                posted_.end());
+}
+
+void Engine::wait_any_progress(rt::RankCtx& ctx) {
+  ctx.mailbox().wait_present([this](const rt::Envelope& envelope) {
+    for (const auto& posted : posted_) {
+      if (!posted->complete && envelope_matches(envelope, *posted)) {
+        return true;
+      }
+    }
+    return false;
+  });
+  progress(ctx);
+}
+
+void Engine::wait_complete(
+    rt::RankCtx& ctx, const std::shared_ptr<detail::RequestImpl>& request) {
+  if ((request->kind == detail::ReqKind::PersistentSend ||
+       request->kind == detail::ReqKind::PersistentRecv) &&
+      !request->active && !request->complete) {
+    return;  // MPI: waiting on an inactive persistent request is a no-op
+  }
+  for (;;) {
+    progress(ctx);
+    if (request->complete) return;
+    // Block until something that could complete ANY posted receive arrives,
+    // then re-run ordered matching. (Send requests complete at creation, so
+    // reaching here means `request` is a posted receive.)
+    ctx.mailbox().wait_present([this](const rt::Envelope& envelope) {
+      for (const auto& posted : posted_) {
+        if (!posted->complete && envelope_matches(envelope, *posted)) {
+          return true;
+        }
+      }
+      return false;
+    });
+  }
+}
+
+}  // namespace cid::mpi

@@ -1,0 +1,42 @@
+// miniMPI one-sided communication (MPI-2 RMA subset): window creation,
+// MPI_Put, and fence synchronization — the lowering target of the directive's
+// TARGET_COMM_MPI_1SIDE keyword.
+#pragma once
+
+#include <memory>
+
+#include "mpi/comm.hpp"
+#include "mpi/datatype.hpp"
+
+namespace cid::mpi {
+
+class Win {
+ public:
+  Win() = default;
+
+  /// Collective over `comm`: expose `bytes` of local memory at `base`.
+  static Win create(const Comm& comm, void* base, std::size_t bytes);
+
+  /// MPI_Put: write `count` elements of `dtype` from `origin` into the
+  /// window of `target_rank` (comm rank) at byte offset `target_disp`.
+  /// Must be called between two fences.
+  void put(const void* origin, std::size_t count, const Datatype& dtype,
+           int target_rank, std::size_t target_disp);
+
+  /// MPI_Win_fence: collective; completes all puts of the closing epoch
+  /// (both outgoing and incoming).
+  void fence();
+
+  bool valid() const noexcept { return impl_ != nullptr; }
+
+  friend bool operator==(const Win& a, const Win& b) noexcept {
+    return a.impl_ == b.impl_;
+  }
+
+ private:
+  struct Impl;
+  explicit Win(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace cid::mpi

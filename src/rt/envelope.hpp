@@ -1,0 +1,33 @@
+// The unit of data exchanged between ranks through mailboxes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "simnet/machine_model.hpp"
+
+namespace cid::rt {
+
+/// Logical channel an envelope travels on. Keeps library-internal traffic
+/// (e.g. rendezvous handshakes or flag updates) from matching user receives.
+enum class Channel : std::uint8_t {
+  MpiPointToPoint = 0,
+  MpiOneSided,
+  ShmemSignal,
+  Internal,
+};
+
+struct Envelope {
+  int src = -1;
+  int tag = 0;
+  Channel channel = Channel::MpiPointToPoint;
+  /// Communicator / window / context id within the channel.
+  int context = 0;
+  cid::ByteBuffer payload;
+  /// Virtual time at which the payload is fully present at the destination.
+  simnet::SimTime available_at = 0.0;
+  /// Per-destination arrival sequence number (set by the mailbox).
+  std::uint64_t seq = 0;
+};
+
+}  // namespace cid::rt

@@ -1,0 +1,86 @@
+#include "rt/mailbox.hpp"
+
+#include "common/error.hpp"
+
+namespace cid::rt {
+
+void Mailbox::push(Envelope envelope) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    envelope.seq = next_seq_++;
+    queue_.push_back(std::move(envelope));
+  }
+  arrived_.notify_all();
+}
+
+Envelope Mailbox::wait_extract(const Predicate& predicate) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (predicate(*it)) {
+        Envelope out = std::move(*it);
+        queue_.erase(it);
+        return out;
+      }
+    }
+    if (poisoned_ && poisoned_()) {
+      throw CidError(ErrorCode::RuntimeFault,
+                     "SPMD world poisoned while waiting for a message");
+    }
+    arrived_.wait(lock);
+  }
+}
+
+void Mailbox::wait_present(const Predicate& predicate) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    for (const auto& envelope : queue_) {
+      if (predicate(envelope)) return;
+    }
+    if (poisoned_ && poisoned_()) {
+      throw CidError(ErrorCode::RuntimeFault,
+                     "SPMD world poisoned while waiting for a message");
+    }
+    arrived_.wait(lock);
+  }
+}
+
+std::optional<Envelope> Mailbox::try_extract(const Predicate& predicate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (predicate(*it)) {
+      Envelope out = std::move(*it);
+      queue_.erase(it);
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Mailbox::Header> Mailbox::peek(const Predicate& predicate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& envelope : queue_) {
+    if (predicate(envelope)) {
+      return Header{envelope.src, envelope.tag, envelope.payload.size(),
+                    envelope.available_at};
+    }
+  }
+  return std::nullopt;
+}
+
+bool Mailbox::probe(const Predicate& predicate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& envelope : queue_) {
+    if (predicate(envelope)) return true;
+  }
+  return false;
+}
+
+std::size_t Mailbox::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void Mailbox::interrupt_all() { arrived_.notify_all(); }
+
+}  // namespace cid::rt

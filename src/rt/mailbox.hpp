@@ -1,0 +1,68 @@
+// Per-rank mailbox: a mutex+condvar guarded arrival queue with predicate
+// matching. Matching scans in arrival order, which gives MPI's non-overtaking
+// guarantee for messages from the same source on the same channel/context/tag.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "rt/envelope.hpp"
+
+namespace cid::rt {
+
+class Mailbox {
+ public:
+  using Predicate = std::function<bool(const Envelope&)>;
+
+  /// Deliver an envelope (called from the sending rank's thread).
+  void push(Envelope envelope);
+
+  /// Remove and return the first envelope (in arrival order) satisfying the
+  /// predicate; blocks until one arrives. Throws CidError(RuntimeFault) if the
+  /// world gets poisoned while waiting (see World::poison()).
+  Envelope wait_extract(const Predicate& predicate);
+
+  /// Non-blocking variant.
+  std::optional<Envelope> try_extract(const Predicate& predicate);
+
+  /// Block until an envelope satisfying the predicate is present, without
+  /// removing it. Used by engines that must extract in posted order after
+  /// learning that progress is possible.
+  void wait_present(const Predicate& predicate);
+
+  /// True if a matching envelope is queued (does not remove it).
+  bool probe(const Predicate& predicate);
+
+  /// Header of the first matching queued envelope (no payload copy, no
+  /// removal): {src, tag, payload bytes, available_at}.
+  struct Header {
+    int src = -1;
+    int tag = 0;
+    std::size_t payload_bytes = 0;
+    simnet::SimTime available_at = 0.0;
+  };
+  std::optional<Header> peek(const Predicate& predicate);
+
+  /// Number of queued envelopes (diagnostics).
+  std::size_t size() const;
+
+  /// Wake all waiters so they can observe the poisoned world and unwind.
+  void interrupt_all();
+
+  void set_poison_check(std::function<bool()> check) {
+    poisoned_ = std::move(check);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable arrived_;
+  std::deque<Envelope> queue_;
+  std::uint64_t next_seq_ = 0;
+  std::function<bool()> poisoned_;
+};
+
+}  // namespace cid::rt

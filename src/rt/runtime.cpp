@@ -1,0 +1,91 @@
+#include "rt/runtime.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hpp"
+
+namespace cid::rt {
+
+namespace {
+thread_local RankCtx* t_ctx = nullptr;
+
+/// RAII installation of the thread-local context.
+class CtxScope {
+ public:
+  explicit CtxScope(RankCtx& ctx) {
+    t_ctx = &ctx;
+    log::set_thread_rank(ctx.rank());
+  }
+  ~CtxScope() {
+    t_ctx = nullptr;
+    log::set_thread_rank(-1);
+  }
+  CtxScope(const CtxScope&) = delete;
+  CtxScope& operator=(const CtxScope&) = delete;
+};
+}  // namespace
+
+simnet::SimTime RunResult::makespan() const noexcept {
+  simnet::SimTime latest = 0.0;
+  for (simnet::SimTime t : final_clocks) latest = std::max(latest, t);
+  return latest;
+}
+
+RunResult run(int nranks, const simnet::MachineModel& model,
+              const RankFn& fn) {
+  CID_REQUIRE(nranks > 0, ErrorCode::InvalidArgument,
+              "run() requires nranks >= 1");
+  CID_REQUIRE(!in_spmd_region(), ErrorCode::RuntimeFault,
+              "nested SPMD regions are not supported");
+
+  World world(nranks, model);
+  std::mutex failure_mutex;
+  std::exception_ptr first_failure;
+
+  auto rank_main = [&](int rank) {
+    RankCtx ctx(rank, world);
+    CtxScope scope(ctx);
+    try {
+      fn(ctx);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!first_failure) first_failure = std::current_exception();
+      }
+      world.poison();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back(rank_main, r);
+  }
+  for (auto& thread : threads) thread.join();
+
+  if (first_failure) std::rethrow_exception(first_failure);
+
+  RunResult result;
+  result.final_clocks.reserve(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    result.final_clocks.push_back(world.clock(r).now());
+  }
+  return result;
+}
+
+RunResult run(int nranks, const RankFn& fn) {
+  return run(nranks, simnet::MachineModel::cray_xk7_gemini(), fn);
+}
+
+RankCtx& current_ctx() {
+  CID_REQUIRE(t_ctx != nullptr, ErrorCode::RuntimeFault,
+              "current_ctx() called outside an SPMD region");
+  return *t_ctx;
+}
+
+bool in_spmd_region() noexcept { return t_ctx != nullptr; }
+
+}  // namespace cid::rt

@@ -1,0 +1,68 @@
+// SPMD launcher: runs one function on `nranks` rank-threads over a shared
+// World. Ranks wait via condition variables, never spin, so heavily
+// oversubscribed runs (hundreds of ranks on a few cores) are fine.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "rt/world.hpp"
+#include "simnet/machine_model.hpp"
+#include "simnet/virtual_clock.hpp"
+
+namespace cid::rt {
+
+/// Per-rank view of the execution; passed to the SPMD function and reachable
+/// from anywhere on the rank thread via current_ctx().
+class RankCtx {
+ public:
+  RankCtx(int rank, World& world) : rank_(rank), world_(&world) {}
+
+  int rank() const noexcept { return rank_; }
+  int nranks() const noexcept { return world_->nranks(); }
+  World& world() noexcept { return *world_; }
+  const simnet::MachineModel& model() const noexcept {
+    return world_->model();
+  }
+
+  simnet::VirtualClock& clock() noexcept { return world_->clock(rank_); }
+  Mailbox& mailbox() noexcept { return world_->mailbox(rank_); }
+
+  /// Charge local computation time to this rank's virtual clock.
+  void charge_compute(simnet::SimTime seconds) { clock().advance(seconds); }
+
+  /// Runtime-level barrier (max-reduces virtual clocks).
+  void barrier() { world_->barrier(rank_); }
+
+ private:
+  int rank_;
+  World* world_;
+};
+
+/// The rank function: the body of the SPMD program.
+using RankFn = std::function<void(RankCtx&)>;
+
+struct RunResult {
+  /// Final virtual clock of each rank when its function returned.
+  std::vector<simnet::SimTime> final_clocks;
+
+  /// Latest final clock: the virtual makespan of the run.
+  simnet::SimTime makespan() const noexcept;
+};
+
+/// Execute `fn` on `nranks` ranks over a fresh World. Rethrows the first
+/// rank failure (after poisoning the world so the other ranks unwind).
+RunResult run(int nranks, const simnet::MachineModel& model,
+              const RankFn& fn);
+
+/// Convenience overload using the calibrated Cray XK7 model.
+RunResult run(int nranks, const RankFn& fn);
+
+/// The RankCtx of the calling thread. Throws CidError(RuntimeFault) when
+/// called from outside an SPMD region.
+RankCtx& current_ctx();
+
+/// True when the calling thread is inside an SPMD region.
+bool in_spmd_region() noexcept;
+
+}  // namespace cid::rt

@@ -1,0 +1,75 @@
+#include "rt/world.hpp"
+
+#include <algorithm>
+
+namespace cid::rt {
+
+World::World(int nranks, simnet::MachineModel model)
+    : nranks_(nranks), model_(model), clocks_(nranks) {
+  CID_REQUIRE(nranks > 0, ErrorCode::InvalidArgument,
+              "World requires at least one rank");
+  mailboxes_.reserve(nranks);
+  signals_.reserve(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    mailboxes_.back()->set_poison_check([this] { return poisoned(); });
+    signals_.push_back(std::make_unique<RankSignal>());
+  }
+}
+
+void World::barrier(int rank, simnet::SimTime cost) {
+  check_poisoned();
+  std::unique_lock<std::mutex> lock(barrier_.mutex);
+  barrier_.max_clock = std::max(barrier_.max_clock, clocks_[rank].now());
+  if (++barrier_.arrived == nranks_) {
+    const simnet::SimTime release_time = barrier_.max_clock + cost;
+    for (auto& clock : clocks_) clock.reset(release_time);
+    barrier_.arrived = 0;
+    barrier_.max_clock = 0.0;
+    ++barrier_.generation;
+    lock.unlock();
+    barrier_.released.notify_all();
+    return;
+  }
+  const std::uint64_t my_generation = barrier_.generation;
+  barrier_.released.wait(lock, [&] {
+    return barrier_.generation != my_generation || poisoned();
+  });
+  check_poisoned();
+}
+
+void World::poison() noexcept {
+  poisoned_.store(true, std::memory_order_release);
+  for (auto& mailbox : mailboxes_) mailbox->interrupt_all();
+  barrier_.released.notify_all();
+  for (auto& signal : signals_) signal->changed.notify_all();
+  global_cv_.notify_all();
+}
+
+void World::wait_global(std::unique_lock<std::mutex>& lock,
+                        const std::function<bool()>& condition) {
+  CID_ASSERT(lock.mutex() == &global_mutex_ && lock.owns_lock(),
+             "wait_global requires the locked global mutex");
+  global_cv_.wait(lock, [&] { return condition() || poisoned(); });
+  check_poisoned();
+}
+
+void World::notify_rank(int rank) {
+  CID_REQUIRE(rank >= 0 && rank < nranks_, ErrorCode::InvalidArgument,
+              "notify_rank out of range");
+  // Lock/unlock pairs with the wait in wait_on_signal so a notification
+  // cannot slip between the condition check and the wait.
+  { std::lock_guard<std::mutex> lock(signals_[rank]->mutex); }
+  signals_[rank]->changed.notify_all();
+}
+
+void World::wait_on_signal(int rank, const std::function<bool()>& condition) {
+  CID_REQUIRE(rank >= 0 && rank < nranks_, ErrorCode::InvalidArgument,
+              "wait_on_signal out of range");
+  std::unique_lock<std::mutex> lock(signals_[rank]->mutex);
+  signals_[rank]->changed.wait(
+      lock, [&] { return condition() || poisoned(); });
+  check_poisoned();
+}
+
+}  // namespace cid::rt

@@ -1,0 +1,124 @@
+// The shared state of one SPMD execution: mailboxes, clocks, the machine
+// model, a max-reducing barrier, and a registry where higher layers (miniMPI
+// windows, miniSHMEM symmetric heap) stash their collective state.
+#pragma once
+
+#include <any>
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "rt/mailbox.hpp"
+#include "simnet/machine_model.hpp"
+#include "simnet/virtual_clock.hpp"
+
+namespace cid::rt {
+
+class World {
+ public:
+  World(int nranks, simnet::MachineModel model);
+
+  int nranks() const noexcept { return nranks_; }
+  const simnet::MachineModel& model() const noexcept { return model_; }
+
+  Mailbox& mailbox(int rank) {
+    CID_REQUIRE(rank >= 0 && rank < nranks_, ErrorCode::InvalidArgument,
+                "mailbox rank out of range");
+    return *mailboxes_[rank];
+  }
+
+  simnet::VirtualClock& clock(int rank) {
+    CID_REQUIRE(rank >= 0 && rank < nranks_, ErrorCode::InvalidArgument,
+                "clock rank out of range");
+    return clocks_[rank];
+  }
+
+  /// Max-reducing barrier: all ranks block until everyone arrives, then every
+  /// clock is set to max(arrival clocks) + cost. `cost` defaults to the
+  /// machine model's barrier cost; pass 0 for a pure synchronization point
+  /// (used by test harnesses).
+  void barrier(int rank, simnet::SimTime cost);
+  void barrier(int rank) { barrier(rank, model_.barrier_cost(nranks_)); }
+
+  /// Mark the world failed (a rank threw). All blocking operations wake up
+  /// and throw so every thread unwinds instead of deadlocking.
+  void poison() noexcept;
+  bool poisoned() const noexcept {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+  void check_poisoned() const {
+    if (poisoned()) {
+      throw CidError(ErrorCode::RuntimeFault,
+                     "SPMD world poisoned by a failure on another rank");
+    }
+  }
+
+  /// Collective-state registry. The first caller constructs the object; all
+  /// callers get the same instance. `key` must be unique per object (e.g.
+  /// "shmem.heap", "mpi.win.3"). Thread-safe.
+  template <typename T, typename... Args>
+  std::shared_ptr<T> shared_object(const std::string& key, Args&&... args) {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    auto it = registry_.find(key);
+    if (it == registry_.end()) {
+      auto object = std::make_shared<T>(std::forward<Args>(args)...);
+      registry_.emplace(key, object);
+      return object;
+    }
+    auto object = std::any_cast<std::shared_ptr<T>>(&it->second);
+    CID_REQUIRE(object != nullptr, ErrorCode::RuntimeFault,
+                "shared_object type mismatch for key '" + key + "'");
+    return *object;
+  }
+
+  /// Shared low-frequency condition variable for collective protocols built
+  /// by higher layers (communicator split, window creation, sub-group
+  /// barriers). poison() notifies it, so waiters must use wait_global() which
+  /// checks the poison flag.
+  std::mutex& global_mutex() noexcept { return global_mutex_; }
+  /// Wait on the global CV until `condition()` (evaluated under the lock held
+  /// by `lock`) is true; throws if the world is poisoned.
+  void wait_global(std::unique_lock<std::mutex>& lock,
+                   const std::function<bool()>& condition);
+  void notify_global() noexcept { global_cv_.notify_all(); }
+
+  /// Per-rank signal used by one-sided layers: notify after writing remote
+  /// memory so a rank blocked in wait_until() re-checks its condition.
+  void notify_rank(int rank);
+  /// Block until `condition()` is true, waking on notify_rank(my_rank).
+  /// The condition is evaluated under the signal lock.
+  void wait_on_signal(int rank, const std::function<bool()>& condition);
+
+ private:
+  struct BarrierState {
+    std::mutex mutex;
+    std::condition_variable released;
+    int arrived = 0;
+    std::uint64_t generation = 0;
+    simnet::SimTime max_clock = 0.0;
+  };
+
+  struct RankSignal {
+    std::mutex mutex;
+    std::condition_variable changed;
+  };
+
+  int nranks_;
+  simnet::MachineModel model_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<simnet::VirtualClock> clocks_;
+  BarrierState barrier_;
+  std::vector<std::unique_ptr<RankSignal>> signals_;
+  std::atomic<bool> poisoned_{false};
+  std::mutex global_mutex_;
+  std::condition_variable global_cv_;
+  std::mutex registry_mutex_;
+  std::map<std::string, std::any> registry_;
+};
+
+}  // namespace cid::rt

@@ -1,0 +1,145 @@
+#include "shmem/heap.hpp"
+#include <atomic>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cid::shmem {
+
+namespace {
+constexpr std::size_t kAlignment = 16;
+
+std::size_t align_up(std::size_t value) {
+  return (value + kAlignment - 1) & ~(kAlignment - 1);
+}
+}  // namespace
+
+SymmetricHeap::SymmetricHeap(int npes, std::size_t capacity)
+    : capacity_(capacity), pes_(npes), calls_per_pe_(npes, 0) {
+  for (auto& pe : pes_) {
+    // Zero-initialized: synchronization flags handed out by the directive
+    // layer must read 0 before the first remote put, without requiring any
+    // racy local initialization after allocation.
+    pe.storage = std::make_unique<std::byte[]>(capacity);
+  }
+}
+
+void* SymmetricHeap::allocate(int pe, std::size_t bytes) {
+  CID_REQUIRE(bytes > 0, ErrorCode::InvalidArgument,
+              "shmem allocation of zero bytes");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& state = pes_.at(pe);
+  const std::size_t call_index = calls_per_pe_.at(pe)++;
+  if (call_index < allocation_log_.size()) {
+    CID_REQUIRE(allocation_log_[call_index] == bytes, ErrorCode::RuntimeFault,
+                "asymmetric shmem allocation: PE " + std::to_string(pe) +
+                    " requested " + std::to_string(bytes) + " bytes, another "
+                    "PE requested " +
+                    std::to_string(allocation_log_[call_index]) +
+                    " at the same allocation index");
+  } else {
+    CID_REQUIRE(call_index == allocation_log_.size(), ErrorCode::RuntimeFault,
+                "shmem allocation sequence out of order");
+    allocation_log_.push_back(bytes);
+  }
+  const std::size_t offset = state.allocated;
+  const std::size_t padded = align_up(bytes);
+  CID_REQUIRE(offset + padded <= capacity_ - shared_used_,
+              ErrorCode::RuntimeFault,
+              "symmetric heap exhausted (capacity " +
+                  std::to_string(capacity_) + " bytes)");
+  state.allocated = offset + padded;
+  return state.storage.get() + offset;
+}
+
+void* SymmetricHeap::shared_allocate(int pe, const std::string& key,
+                                     std::size_t bytes) {
+  CID_REQUIRE(bytes > 0, ErrorCode::InvalidArgument,
+              "shmem shared allocation of zero bytes");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = shared_offsets_.find(key);
+  if (it == shared_offsets_.end()) {
+    const std::size_t padded = align_up(bytes);
+    shared_used_ += padded;
+    CID_REQUIRE(shared_used_ <= capacity_, ErrorCode::RuntimeFault,
+                "symmetric heap shared arena exhausted");
+    const std::size_t offset = capacity_ - shared_used_;
+    // The down-growing internal arena must not collide with user blocks.
+    for (const auto& state : pes_) {
+      CID_REQUIRE(state.allocated <= offset, ErrorCode::RuntimeFault,
+                  "symmetric heap exhausted (user + internal allocations "
+                  "collide)");
+    }
+    it = shared_offsets_.emplace(key, offset).first;
+  }
+  return pes_.at(pe).storage.get() + it->second;
+}
+
+bool SymmetricHeap::contains(int pe, const void* ptr) const noexcept {
+  const auto* p = static_cast<const std::byte*>(ptr);
+  const auto& state = pes_[pe];
+  return p >= state.storage.get() && p < state.storage.get() + capacity_;
+}
+
+std::byte* SymmetricHeap::translate(int pe, const void* local, int target_pe,
+                                    std::size_t bytes) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto& mine = pes_.at(pe);
+  const auto* p = static_cast<const std::byte*>(local);
+  CID_REQUIRE(p >= mine.storage.get() &&
+                  p + bytes <= mine.storage.get() + capacity_,
+              ErrorCode::InvalidArgument,
+              "address is not a symmetric heap object of this PE");
+  const std::size_t offset = static_cast<std::size_t>(p - mine.storage.get());
+  return pes_.at(target_pe).storage.get() + offset;
+}
+
+std::size_t SymmetricHeap::allocated(int pe) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pes_.at(pe).allocated;
+}
+
+void SymmetricHeap::record_put(int pe, int target_pe,
+                               simnet::SimTime delivery) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& target = pes_.at(target_pe);
+  target.incoming_max = std::max(target.incoming_max, delivery);
+  auto& source = pes_.at(pe);
+  source.outgoing_max = std::max(source.outgoing_max, delivery);
+}
+
+simnet::SimTime SymmetricHeap::incoming_max(int pe) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pes_.at(pe).incoming_max;
+}
+
+void SymmetricHeap::reset_incoming(int pe) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pes_.at(pe).incoming_max = 0.0;
+}
+
+simnet::SimTime SymmetricHeap::outgoing_max(int pe) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pes_.at(pe).outgoing_max;
+}
+
+namespace {
+std::atomic<std::size_t> g_default_capacity{SymmetricHeap::kDefaultCapacity};
+}  // namespace
+
+void SymmetricHeap::set_default_capacity(std::size_t bytes) noexcept {
+  g_default_capacity.store(bytes);
+}
+
+std::size_t SymmetricHeap::default_capacity() noexcept {
+  return g_default_capacity.load();
+}
+
+SymmetricHeap& SymmetricHeap::of_world(rt::RankCtx& ctx) {
+  auto heap = ctx.world().shared_object<SymmetricHeap>(
+      "shmem.heap", ctx.nranks(), default_capacity());
+  return *heap;
+}
+
+}  // namespace cid::shmem

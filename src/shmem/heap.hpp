@@ -1,0 +1,85 @@
+// The SHMEM symmetric heap: every PE allocates the same sequence of blocks at
+// identical offsets, so a local pointer identifies the corresponding remote
+// object on any PE (the property the paper's sbuf/rbuf clauses rely on when
+// the directive targets SHMEM).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "rt/runtime.hpp"
+#include "simnet/machine_model.hpp"
+
+namespace cid::shmem {
+
+/// Per-World heap state; all PEs share one instance via the World registry.
+class SymmetricHeap {
+ public:
+  SymmetricHeap(int npes, std::size_t capacity);
+
+  /// Collective bump allocation: every PE must call with the same size in the
+  /// same order. Returns the calling PE's local block.
+  void* allocate(int pe, std::size_t bytes);
+
+  /// Key-coordinated allocation for runtime-internal symmetric objects
+  /// (directive completion flags): the first caller of a key fixes its
+  /// offset in a World-shared table, so every PE gets the same offset
+  /// REGARDLESS of call order — and PEs that never touch the key need not
+  /// call at all. Carved from the top of the heap, growing down.
+  void* shared_allocate(int pe, const std::string& key, std::size_t bytes);
+
+  /// Translate a local symmetric address to the same offset on `target_pe`.
+  /// Throws when `local` is not inside the calling PE's heap.
+  std::byte* translate(int pe, const void* local, int target_pe,
+                       std::size_t bytes) const;
+
+  bool contains(int pe, const void* ptr) const noexcept;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t allocated(int pe) const;
+
+  // --- virtual-time bookkeeping for puts --------------------------------
+  /// Record a put delivered to `target_pe` at `delivery` injected by `pe`
+  /// whose wire completes at `delivery`.
+  void record_put(int pe, int target_pe, simnet::SimTime delivery);
+  /// Latest delivery time of any put targeting `pe` (epoch so far).
+  simnet::SimTime incoming_max(int pe) const;
+  /// Reset the incoming mark of `pe` (consumed at a barrier).
+  void reset_incoming(int pe);
+  /// Latest wire-completion time of puts injected by `pe` (for quiet()).
+  simnet::SimTime outgoing_max(int pe) const;
+
+  /// Default capacity per PE unless overridden before first use.
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  /// Override the per-PE capacity used when a World's heap is first created
+  /// (call before the SPMD region, or before any symmetric allocation).
+  static void set_default_capacity(std::size_t bytes) noexcept;
+  static std::size_t default_capacity() noexcept;
+
+  /// Fetch (or lazily create) the heap of the current World.
+  static SymmetricHeap& of_world(rt::RankCtx& ctx);
+
+ private:
+  struct PeState {
+    std::unique_ptr<std::byte[]> storage;
+    std::size_t allocated = 0;
+    simnet::SimTime incoming_max = 0.0;
+    simnet::SimTime outgoing_max = 0.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::vector<PeState> pes_;
+  /// Allocation sizes observed from PE 0's sequence, used to detect
+  /// asymmetric allocation bugs on other PEs.
+  std::vector<std::size_t> allocation_log_;
+  std::vector<std::size_t> calls_per_pe_;
+  /// Key-coordinated internal allocations (offsets from the heap top).
+  std::map<std::string, std::size_t> shared_offsets_;
+  std::size_t shared_used_ = 0;
+};
+
+}  // namespace cid::shmem

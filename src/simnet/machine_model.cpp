@@ -1,0 +1,97 @@
+#include "simnet/machine_model.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace cid::simnet {
+
+namespace {
+constexpr double kMicro = 1e-6;
+}
+
+SimTime MachineModel::barrier_cost(int nranks) const noexcept {
+  if (nranks <= 1) return barrier_base;
+  const int stages = std::bit_width(static_cast<unsigned>(nranks - 1));
+  return barrier_base + barrier_per_stage * static_cast<SimTime>(stages);
+}
+
+MachineModel MachineModel::cray_xk7_gemini() {
+  MachineModel m;
+
+  // Two-sided MPI over Gemini. `wait_single` carries the cost of entering the
+  // progress engine once per MPI_Wait call; the Waitall path retires requests
+  // in one pass. These two values realise the paper's measured ~2.6x gain
+  // from replacing a Wait loop with Waitall (Section IV-B).
+  m.mpi_two_sided.send_overhead = 2.0 * kMicro;
+  m.mpi_two_sided.recv_overhead = 1.5 * kMicro;
+  m.mpi_two_sided.latency = 1.6 * kMicro;
+  m.mpi_two_sided.bytes_per_second = 5.0e9;
+  m.mpi_two_sided.per_message_gap = 0.05 * kMicro;
+  m.mpi_two_sided.injection_bytes_per_second = 5.0e9;
+  m.mpi_two_sided.wait_single = 3.9 * kMicro;
+  m.mpi_two_sided.waitall_base = 2.0 * kMicro;
+  m.mpi_two_sided.waitall_per_request = 0.1 * kMicro;
+  m.mpi_two_sided.eager_threshold_bytes = 4096;
+  m.mpi_two_sided.rendezvous_extra_latency = 2.5 * kMicro;
+  // Persistent-request path: what directive-generated code uses inside a
+  // comm_parameters region. Produces the paper's residual ~1.4x directive-MPI
+  // gain over the Waitall-modified original.
+  m.mpi_two_sided.persistent_setup = 3.0 * kMicro;
+  m.mpi_two_sided.persistent_send_overhead = 1.0 * kMicro;
+  m.mpi_two_sided.persistent_recv_overhead = 0.8 * kMicro;
+
+  // One-sided MPI (MPI_Put + MPI_Win_fence). Fence cost sits in waitall_base.
+  m.mpi_one_sided.send_overhead = 1.0 * kMicro;
+  m.mpi_one_sided.recv_overhead = 0.0;
+  m.mpi_one_sided.latency = 1.5 * kMicro;
+  m.mpi_one_sided.bytes_per_second = 5.0e9;
+  m.mpi_one_sided.per_message_gap = 0.05 * kMicro;
+  m.mpi_one_sided.injection_bytes_per_second = 5.0e9;
+  m.mpi_one_sided.wait_single = 1.0 * kMicro;
+  m.mpi_one_sided.waitall_base = 3.0 * kMicro;
+  m.mpi_one_sided.waitall_per_request = 0.05 * kMicro;
+  m.mpi_one_sided.eager_threshold_bytes = 1u << 30;  // puts stream directly
+  m.mpi_one_sided.rendezvous_extra_latency = 0.0;
+
+  // SHMEM puts: NIC-offloaded, no tag matching, no request objects. The tiny
+  // injection overhead is what produces the paper's small-message (8-256 B)
+  // SHMEM advantage; bandwidth is the same wire as MPI so large transfers
+  // converge (ablation_msgsize demonstrates the crossover).
+  // FMA-descriptor small-put injection on Gemini is of order 100 ns; the
+  // sender is free as soon as the descriptor is queued.
+  m.shmem.send_overhead = 0.06 * kMicro;
+  m.shmem.recv_overhead = 0.0;
+  m.shmem.latency = 0.9 * kMicro;
+  m.shmem.bytes_per_second = 5.0e9;
+  m.shmem.per_message_gap = 0.01 * kMicro;
+  m.shmem.injection_bytes_per_second = 5.0e9;
+  m.shmem.wait_single = 0.12 * kMicro;     // wait_until poll entry / fence
+  m.shmem.waitall_base = 0.35 * kMicro;     // shmem_quiet
+  m.shmem.waitall_per_request = 0.0;       // quiet cost is size-independent
+  m.shmem.eager_threshold_bytes = 1u << 30;
+  m.shmem.rendezvous_extra_latency = 0.0;
+
+  // Host-side costs: MPI_Pack per-call overhead + memcpy rate, and derived
+  // datatype construction (paid once per type per scope, then cached).
+  m.host.pack_call_overhead = 0.15 * kMicro;
+  m.host.pack_bytes_per_second = 6.0e9;  // small-chunk cold-cache copies
+  m.host.type_create_base = 15.0 * kMicro;
+  m.host.type_create_per_field = 1.5 * kMicro;
+  m.host.datatype_pack_bytes_per_second = 12.0e9;
+
+  m.barrier_base = 1.5 * kMicro;
+  m.barrier_per_stage = 0.8 * kMicro;
+  return m;
+}
+
+MachineModel MachineModel::zero() {
+  MachineModel m;
+  m.mpi_two_sided.bytes_per_second = 1.0e30;
+  m.mpi_one_sided.bytes_per_second = 1.0e30;
+  m.shmem.bytes_per_second = 1.0e30;
+  m.host.pack_bytes_per_second = 1.0e30;
+  m.host.datatype_pack_bytes_per_second = 1.0e30;
+  return m;
+}
+
+}  // namespace cid::simnet

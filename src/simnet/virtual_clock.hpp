@@ -1,0 +1,33 @@
+// Per-rank virtual clock. All times reported by benches are read from these
+// clocks, never from the host's wall clock, so results are deterministic.
+#pragma once
+
+#include "common/error.hpp"
+#include "simnet/machine_model.hpp"
+
+namespace cid::simnet {
+
+class VirtualClock {
+ public:
+  SimTime now() const noexcept { return now_; }
+
+  /// Spend `dt` of local CPU/network time.
+  void advance(SimTime dt) {
+    CID_REQUIRE(dt >= 0.0, ErrorCode::InvalidArgument,
+                "VirtualClock cannot advance by negative time");
+    now_ += dt;
+  }
+
+  /// Wait until an external event at absolute time `t` (no-op if already
+  /// past it — waiting for an event that already happened is free).
+  void advance_to(SimTime t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
+  void reset(SimTime t = 0.0) noexcept { now_ = t; }
+
+ private:
+  SimTime now_ = 0.0;
+};
+
+}  // namespace cid::simnet

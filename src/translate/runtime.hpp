@@ -1,0 +1,97 @@
+// Support helpers referenced by translator-generated code (namespace
+// cid::trt). The generated code contains the actual message passing calls
+// (cid::mpi / cid::shmem); these templates only supply the pieces Open64
+// resolved from its AST — element pointers, element datatypes, array-extent
+// based count inference, and byte sizes.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "core/exec_state.hpp"
+#include "core/type_layout.hpp"
+#include "mpi/datatype.hpp"
+
+namespace cid::trt {
+
+/// Element pointer of a buffer expression: arrays decay, pointers pass
+/// through, reflected struct lvalues take their address.
+template <typename T>
+auto* data_ptr(T&& object) {
+  using U = std::remove_reference_t<T>;
+  if constexpr (std::is_array_v<U>) {
+    return &object[0];
+  } else if constexpr (std::is_pointer_v<U>) {
+    return object;
+  } else {
+    return &object;
+  }
+}
+
+namespace detail {
+template <typename T>
+using element_t =
+    std::remove_pointer_t<decltype(data_ptr(std::declval<T&>()))>;
+}
+
+/// miniMPI datatype of a buffer expression's element type: basic types map
+/// directly; reflected composites build (and cache per scope) the derived
+/// struct type — the translated equivalent of the compiler's automatic
+/// data-type handling.
+template <typename T>
+mpi::Datatype datatype_of_expr(T&& object) {
+  using E = std::remove_cv_t<detail::element_t<T>>;
+  if constexpr (std::is_arithmetic_v<E>) {
+    return mpi::datatype_of<E>();
+  } else {
+    static_assert(core::Reflected<E>,
+                  "composite buffer type needs CID_REFLECT_STRUCT before the "
+                  "translated code can build its MPI datatype");
+    return core::detail::ExecState::mine().datatype_for(
+        core::TypeLayoutOf<E>::get());
+  }
+}
+
+/// Bytes per element of a buffer expression.
+template <typename T>
+constexpr std::size_t element_size(T&&) {
+  return sizeof(detail::element_t<T>);
+}
+
+namespace detail {
+template <typename T>
+std::size_t extent_of(T&& object) {
+  using U = std::remove_reference_t<T>;
+  if constexpr (std::is_array_v<U>) {
+    return std::extent_v<U>;
+  } else if constexpr (requires { object.size(); }) {
+    return object.size();
+  } else {
+    static_assert(std::is_array_v<U>,
+                  "count clause omitted but the buffer has no array extent "
+                  "(paper Section III-B requires at least one array buffer)");
+    return 0;
+  }
+}
+}  // namespace detail
+
+/// Count inference: the size of the smallest array among the listed buffers
+/// (paper: "the message size will be the size of the smallest array").
+template <typename... Buffers>
+std::size_t smallest_extent(Buffers&&... buffers) {
+  return std::min({detail::extent_of(buffers)...});
+}
+
+/// Local block copy used by generated collective code (root seeding its own
+/// rbuf before a broadcast).
+template <typename Dst, typename Src>
+void copy_block(Dst&& dst, Src&& src, std::size_t count) {
+  auto* d = data_ptr(dst);
+  const auto* s = data_ptr(src);
+  std::memcpy(d, s, count * sizeof(*s));
+}
+
+}  // namespace cid::trt

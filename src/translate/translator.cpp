@@ -1,0 +1,773 @@
+#include "translate/translator.hpp"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "core/pragma.hpp"
+
+namespace cid::translate {
+
+namespace {
+
+using core::DirectiveKind;
+using core::ParsedDirective;
+using core::RawClause;
+using core::SyncPlacement;
+using core::Target;
+
+// ---------------------------------------------------------------------------
+// Lexical helpers
+// ---------------------------------------------------------------------------
+
+/// Position of the matching '}' for the '{' at `open`, skipping string and
+/// character literals and // and /* */ comments. npos when unbalanced.
+std::size_t find_block_end(std::string_view text, std::size_t open) {
+  int depth = 0;
+  enum class State { Code, LineComment, BlockComment, String, Char } state =
+      State::Code;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          ++i;
+        } else if (c == '"') {
+          state = State::String;
+        } else if (c == '\'') {
+          state = State::Char;
+        } else if (c == '{') {
+          ++depth;
+        } else if (c == '}') {
+          if (--depth == 0) return i;
+        }
+        break;
+      case State::LineComment:
+        if (c == '\n') state = State::Code;
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          state = State::Code;
+          ++i;
+        }
+        break;
+      case State::String:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::Code;
+        }
+        break;
+      case State::Char:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::Code;
+        }
+        break;
+    }
+  }
+  return std::string_view::npos;
+}
+
+/// Position just past the ';' terminating the statement starting at `start`
+/// (same literal/comment skipping). npos when not found.
+std::size_t find_statement_end(std::string_view text, std::size_t start) {
+  enum class State { Code, LineComment, BlockComment, String, Char } state =
+      State::Code;
+  int parens = 0;
+  for (std::size_t i = start; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          ++i;
+        } else if (c == '"') {
+          state = State::String;
+        } else if (c == '\'') {
+          state = State::Char;
+        } else if (c == '(') {
+          ++parens;
+        } else if (c == ')') {
+          --parens;
+        } else if (c == ';' && parens == 0) {
+          return i + 1;
+        }
+        break;
+      case State::LineComment:
+        if (c == '\n') state = State::Code;
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          state = State::Code;
+          ++i;
+        }
+        break;
+      case State::String:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::Code;
+        }
+        break;
+      case State::Char:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::Code;
+        }
+        break;
+    }
+  }
+  return std::string_view::npos;
+}
+
+int line_of(std::string_view text, std::size_t pos) {
+  int line = 1;
+  for (std::size_t i = 0; i < pos && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+/// Is there a comm directive pragma starting at the beginning of the line
+/// containing position `i`?
+bool is_pragma_start(std::string_view text, std::size_t i) {
+  // i must point at '#' that begins (after whitespace) a line.
+  std::size_t j = i;
+  while (j > 0 && (text[j - 1] == ' ' || text[j - 1] == '\t')) --j;
+  if (j != 0 && text[j - 1] != '\n') return false;
+  std::string_view rest = text.substr(i);
+  if (!cid::starts_with(rest, "#")) return false;
+  rest = cid::trim(rest.substr(1, 64));
+  return cid::starts_with(rest, "pragma comm_parameters") ||
+         cid::starts_with(rest, "pragma comm_p2p") ||
+         cid::starts_with(rest, "pragma comm_collective");
+}
+
+// ---------------------------------------------------------------------------
+// Clause utilities (textual merge, the static form of Clauses::merged)
+// ---------------------------------------------------------------------------
+
+ParsedDirective merge_textual(const ParsedDirective& region,
+                              const ParsedDirective& p2p) {
+  ParsedDirective merged;
+  merged.kind = DirectiveKind::CommP2P;
+  for (const auto& clause : region.clauses) {
+    if (p2p.find(clause.name) == nullptr) merged.clauses.push_back(clause);
+  }
+  for (const auto& clause : p2p.clauses) merged.clauses.push_back(clause);
+  return merged;
+}
+
+std::string clause_arg(const ParsedDirective& directive,
+                       std::string_view name, std::string fallback = {}) {
+  const RawClause* clause = directive.find(name);
+  return clause != nullptr ? clause->args[0] : fallback;
+}
+
+std::vector<std::string> clause_args(const ParsedDirective& directive,
+                                     std::string_view name) {
+  const RawClause* clause = directive.find(name);
+  return clause != nullptr ? clause->args : std::vector<std::string>{};
+}
+
+// ---------------------------------------------------------------------------
+// Translator
+// ---------------------------------------------------------------------------
+
+class Translator {
+ public:
+  Translator(std::string_view source, const Options& options)
+      : source_(source), options_(options) {}
+
+  Result<Translation> run() {
+    auto body = translate_range(0, source_.size(), nullptr);
+    if (!body.is_ok()) return body.status();
+    Translation out;
+    out.source = std::move(body).take();
+    if (!deferred_syncs_.empty()) {
+      out.source +=
+          "\n/* cid-translate WARNING: deferred synchronization without a "
+          "following comm_parameters region; draining here. */\n";
+      out.source += drain_deferred(/*only_begin_next=*/false);
+    }
+    out.summary = summary_;
+    return out;
+  }
+
+ private:
+  struct RegionContext {
+    ParsedDirective clauses;
+    Target target = Target::Mpi2Side;
+    std::string requests_var;  ///< MPI request vector in scope
+    std::string comm_var;
+    bool used_mpi2 = false;
+    bool used_shmem = false;
+  };
+
+  struct DeferredSync {
+    std::string code;       ///< the synchronization statement(s)
+    bool at_next_begin;     ///< BEGIN_NEXT_PARAM_REGION vs END_ADJ_*
+  };
+
+  /// Translate source_[begin, end); `region` is the innermost enclosing
+  /// comm_parameters context (nullptr at top level).
+  Result<std::string> translate_range(std::size_t begin, std::size_t end,
+                                      RegionContext* region) {
+    std::string out;
+    std::size_t i = begin;
+    while (i < end) {
+      if (source_[i] == '#' && is_pragma_start(source_, i)) {
+        auto handled = handle_directive(i, end, region, out);
+        if (!handled.is_ok()) return handled.status();
+        i = handled.value();
+        continue;
+      }
+      out += source_[i];
+      ++i;
+    }
+    return out;
+  }
+
+  /// Parse and translate the directive whose '#' is at `i`; append generated
+  /// code to `out` and return the index just past the directive's block.
+  Result<std::size_t> handle_directive(std::size_t i, std::size_t end,
+                                       RegionContext* region,
+                                       std::string& out) {
+    // Collect the pragma line (with backslash continuations).
+    std::size_t cursor = i;
+    std::string pragma_text;
+    for (;;) {
+      std::size_t eol = source_.find('\n', cursor);
+      if (eol == std::string_view::npos || eol > end) eol = end;
+      std::string_view line = source_.substr(cursor, eol - cursor);
+      cursor = eol < end ? eol + 1 : end;
+      std::string_view trimmed = cid::trim(line);
+      if (!trimmed.empty() && trimmed.back() == '\\') {
+        pragma_text += trimmed.substr(0, trimmed.size() - 1);
+        pragma_text += ' ';
+      } else {
+        pragma_text += trimmed;
+        break;
+      }
+    }
+
+    auto parsed = core::parse_pragma(pragma_text);
+    if (!parsed.is_ok()) {
+      return Status(parsed.status().code(),
+                    "line " + std::to_string(line_of(source_, i)) + ": " +
+                        parsed.status().message());
+    }
+
+    // Locate the attached statement or block.
+    std::size_t body_begin = cursor;
+    while (body_begin < end &&
+           (source_[body_begin] == ' ' || source_[body_begin] == '\t' ||
+            source_[body_begin] == '\n' || source_[body_begin] == '\r')) {
+      ++body_begin;
+    }
+    if (body_begin >= end) {
+      return Status(ErrorCode::ParseError,
+                    "line " + std::to_string(line_of(source_, i)) +
+                        ": directive has no attached statement or block");
+    }
+
+    std::size_t body_content_begin;
+    std::size_t body_content_end;
+    std::size_t after_body;
+    if (source_[body_begin] == '{') {
+      const std::size_t close = find_block_end(source_, body_begin);
+      if (close == std::string_view::npos || close > end) {
+        return Status(ErrorCode::ParseError,
+                      "line " + std::to_string(line_of(source_, body_begin)) +
+                          ": unbalanced braces after directive");
+      }
+      body_content_begin = body_begin + 1;
+      body_content_end = close;
+      after_body = close + 1;
+    } else if (source_[body_begin] == '#' &&
+               is_pragma_start(source_, body_begin) &&
+               parsed.value().kind == DirectiveKind::CommParameters) {
+      // A comm_parameters followed directly by another directive: treat the
+      // inner directive (with its block) as the region body.
+      auto inner_end = directive_extent(body_begin, end);
+      if (!inner_end.is_ok()) return inner_end.status();
+      body_content_begin = body_begin;
+      body_content_end = inner_end.value();
+      after_body = inner_end.value();
+    } else {
+      const std::size_t semi = find_statement_end(source_, body_begin);
+      if (semi == std::string_view::npos || semi > end) {
+        return Status(ErrorCode::ParseError,
+                      "line " + std::to_string(line_of(source_, body_begin)) +
+                          ": directive statement is not terminated");
+      }
+      body_content_begin = body_begin;
+      body_content_end = semi;
+      after_body = semi;
+    }
+
+    if (parsed.value().kind == DirectiveKind::CommParameters) {
+      auto code = emit_region(parsed.value(), body_content_begin,
+                              body_content_end, region);
+      if (!code.is_ok()) return code.status();
+      out += std::move(code).take();
+    } else if (parsed.value().kind == DirectiveKind::CommCollective) {
+      auto code = emit_collective(parsed.value(), body_content_begin,
+                                  body_content_end, region);
+      if (!code.is_ok()) return code.status();
+      out += std::move(code).take();
+    } else {
+      auto code = emit_p2p(parsed.value(), body_content_begin,
+                           body_content_end, region);
+      if (!code.is_ok()) return code.status();
+      out += std::move(code).take();
+    }
+    return after_body;
+  }
+
+  /// End index (exclusive) of the directive starting at `i` including its
+  /// attached block — used when a region's body is a bare nested directive.
+  Result<std::size_t> directive_extent(std::size_t i, std::size_t end) {
+    std::size_t eol = i;
+    for (;;) {
+      eol = source_.find('\n', eol);
+      if (eol == std::string_view::npos || eol >= end) {
+        return Status(ErrorCode::ParseError,
+                      "directive at end of file without a block");
+      }
+      std::string_view line_start = source_.substr(i, eol - i);
+      if (!line_start.empty() && cid::trim(line_start).back() == '\\') {
+        ++eol;
+        continue;
+      }
+      break;
+    }
+    std::size_t body = eol + 1;
+    while (body < end && std::isspace(static_cast<unsigned char>(
+                             source_[body]))) {
+      ++body;
+    }
+    if (body < end && source_[body] == '{') {
+      const std::size_t close = find_block_end(source_, body);
+      if (close == std::string_view::npos) {
+        return Status(ErrorCode::ParseError, "unbalanced nested block");
+      }
+      return close + 1;
+    }
+    const std::size_t semi = find_statement_end(source_, body);
+    if (semi == std::string_view::npos) {
+      return Status(ErrorCode::ParseError, "unterminated nested statement");
+    }
+    return semi;
+  }
+
+  // --- code generation ----------------------------------------------------
+
+  Target directive_target(const ParsedDirective& directive) const {
+    const RawClause* clause = directive.find("target");
+    if (clause == nullptr) return options_.default_target;
+    auto target = core::parse_target_keyword(clause->args[0]);
+    return target.is_ok() ? target.value() : options_.default_target;
+  }
+
+  std::string annotate(const std::string& note) const {
+    return options_.annotate ? "/* cid-translate: " + note + " */" : "";
+  }
+
+  Result<std::string> emit_region(const ParsedDirective& directive,
+                                  std::size_t body_begin,
+                                  std::size_t body_end,
+                                  RegionContext* parent) {
+    ++summary_.parameter_regions;
+    const int id = next_id_++;
+
+    RegionContext region;
+    region.clauses = parent != nullptr
+                         ? merge_textual(parent->clauses, directive)
+                         : directive;
+    region.clauses.kind = DirectiveKind::CommParameters;
+    region.target = directive_target(region.clauses);
+    region.requests_var = "cid_reqs_" + std::to_string(id);
+    region.comm_var = "cid_comm_" + std::to_string(id);
+
+    auto body = translate_range(body_begin, body_end, &region);
+    if (!body.is_ok()) return body.status();
+
+    SyncPlacement placement = SyncPlacement::EndParamRegion;
+    if (const RawClause* clause = directive.find("place_sync")) {
+      auto parsed = core::parse_sync_placement_keyword(clause->args[0]);
+      if (!parsed.is_ok()) return parsed.status();
+      placement = parsed.value();
+    }
+
+    std::string sync_code;
+    if (region.used_mpi2) {
+      sync_code += "::cid::mpi::waitall(" + region.requests_var + "); " +
+                   annotate("consolidated synchronization") + "\n";
+      ++summary_.consolidated_syncs;
+    }
+    if (region.used_shmem) {
+      sync_code += "::cid::shmem::barrier_all(); " +
+                   annotate("consolidated SHMEM synchronization") + "\n";
+      ++summary_.consolidated_syncs;
+    }
+
+    std::string out;
+    // Requests vector lives in the enclosing scope when synchronization is
+    // deferred past the region, else inside the region block.
+    const bool deferred = placement != SyncPlacement::EndParamRegion;
+    std::string decls;
+    if (region.used_mpi2) {
+      decls += "std::vector<::cid::mpi::Request> " + region.requests_var +
+               ";\n";
+      decls += "auto " + region.comm_var + " = " + options_.comm_expr + ";\n";
+    } else if (region.used_shmem || region_needs_comm_) {
+      decls += "auto " + region.comm_var + " = " + options_.comm_expr + ";\n";
+    }
+    region_needs_comm_ = false;
+
+    if (deferred && region.used_mpi2) {
+      out += decls;  // enclosing scope
+      out += "{ " + annotate("comm_parameters region " + std::to_string(id)) +
+             "\n";
+    } else {
+      out += "{ " + annotate("comm_parameters region " + std::to_string(id)) +
+             "\n";
+      out += decls;
+    }
+
+    // BEGIN_NEXT deferred syncs from earlier regions drain at this region's
+    // beginning; END_ADJ ones at this region's end (when not deferring).
+    out += drain_deferred(/*only_begin_next=*/true);
+    out += std::move(body).take();
+
+    switch (placement) {
+      case SyncPlacement::EndParamRegion:
+        out += drain_deferred(/*only_begin_next=*/false);
+        out += sync_code;
+        out += "}\n";
+        break;
+      case SyncPlacement::BeginNextParamRegion:
+        out += "}\n";
+        deferred_syncs_.push_back({sync_code, /*at_next_begin=*/true});
+        break;
+      case SyncPlacement::EndAdjParamRegions:
+        out += "}\n";
+        deferred_syncs_.push_back({sync_code, /*at_next_begin=*/false});
+        break;
+    }
+    return out;
+  }
+
+  std::string drain_deferred(bool only_begin_next) {
+    std::string out;
+    auto it = deferred_syncs_.begin();
+    while (it != deferred_syncs_.end()) {
+      if (!only_begin_next || it->at_next_begin) {
+        out += it->code;
+        it = deferred_syncs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return out;
+  }
+
+  /// The collective-directive extension (paper Section V): lowered to the
+  /// cid::mpi collectives on a group communicator. Only the (default) MPI
+  /// two-sided target is supported by generated code; retarget via the
+  /// embedded API for SHMEM collectives.
+  Result<std::string> emit_collective(const ParsedDirective& directive,
+                                      std::size_t body_begin,
+                                      std::size_t body_end,
+                                      RegionContext* region) {
+    ++summary_.p2p_directives;  // counted with the point-to-point directives
+    const int id = next_id_++;
+
+    const ParsedDirective merged =
+        region != nullptr ? merge_textual(region->clauses, directive)
+                          : directive;
+
+    const Target target = directive_target(merged);
+    if (target != Target::Mpi2Side) {
+      return Status(ErrorCode::UnsupportedTarget,
+                    "translated comm_collective supports only "
+                    "TARGET_COMM_MPI_2SIDE; use the embedded API for other "
+                    "targets");
+    }
+    const std::string pattern = clause_arg(merged, "pattern");
+    const auto sbufs = clause_args(merged, "sbuf");
+    const auto rbufs = clause_args(merged, "rbuf");
+    if (sbufs.size() != 1 || rbufs.size() != 1) {
+      return Status(ErrorCode::InvalidClause,
+                    "comm_collective takes exactly one sbuf and one rbuf");
+    }
+    const std::string count = clause_arg(merged, "count");
+    if (count.empty()) {
+      return Status(ErrorCode::InvalidClause,
+                    "translated comm_collective requires an explicit count "
+                    "clause");
+    }
+    const std::string root = clause_arg(merged, "root", "0");
+    const std::string group = clause_arg(merged, "group");
+    const std::string& sb = sbufs[0];
+    const std::string& rb = rbufs[0];
+
+    const std::string comm_var = "cid_gcomm_" + std::to_string(id);
+    std::string out;
+    out += "{ " + annotate("comm_collective " + std::to_string(id)) + "\n";
+    if (group.empty()) {
+      out += "auto " + comm_var + " = " + options_.comm_expr + ";\n";
+      out += "{\n";
+    } else {
+      out += "auto " + comm_var + " = " + options_.comm_expr + ".split((" +
+             group + ") < 0 ? -1 : static_cast<int>(" + group +
+             "), ::cid::rt::current_ctx().rank());\n";
+      out += "if (" + comm_var + ".valid()) {\n";
+    }
+
+    if (pattern == "PATTERN_ONE_TO_MANY") {
+      out += "if (" + comm_var + ".rank() == (" + root +
+             ")) ::cid::trt::copy_block(" + rb + ", " + sb +
+             ", static_cast<std::size_t>(" + count + "));\n";
+      out += "::cid::mpi::bcast(" + comm_var + ", ::cid::trt::data_ptr(" +
+             rb + "), static_cast<std::size_t>(" + count +
+             "), ::cid::trt::datatype_of_expr(" + rb + "), (" + root +
+             "));\n";
+    } else if (pattern == "PATTERN_MANY_TO_ONE") {
+      out += "::cid::mpi::gather(" + comm_var + ", ::cid::trt::data_ptr(" +
+             sb + "), static_cast<std::size_t>(" + count +
+             "), ::cid::trt::datatype_of_expr(" + sb + "), " + comm_var +
+             ".rank() == (" + root +
+             ") ? static_cast<void*>(::cid::trt::data_ptr(" + rb +
+             ")) : nullptr, (" + root + "));\n";
+    } else if (pattern == "PATTERN_ALL_TO_ALL") {
+      out += "::cid::mpi::alltoall(" + comm_var + ", ::cid::trt::data_ptr(" +
+             sb + "), static_cast<std::size_t>(" + count +
+             "), ::cid::trt::datatype_of_expr(" + sb +
+             "), ::cid::trt::data_ptr(" + rb + "));\n";
+    } else {
+      return Status(ErrorCode::InvalidClause,
+                    "unknown pattern keyword '" + pattern + "'");
+    }
+    out += "}\n";
+
+    const std::string body(source_.substr(body_begin, body_end - body_begin));
+    if (!cid::trim(body).empty()) {
+      out += "{ " + annotate("post-collective statement") + "\n" + body +
+             "\n}\n";
+    }
+    out += "}\n";
+    return out;
+  }
+
+  Result<std::string> emit_p2p(const ParsedDirective& directive,
+                               std::size_t body_begin, std::size_t body_end,
+                               RegionContext* region) {
+    ++summary_.p2p_directives;
+    const int id = next_id_++;
+
+    const ParsedDirective merged =
+        region != nullptr ? merge_textual(region->clauses, directive)
+                          : directive;
+
+    // Static validation mirroring Clauses::validate_for_p2p.
+    const auto sbufs = clause_args(merged, "sbuf");
+    const auto rbufs = clause_args(merged, "rbuf");
+    if (sbufs.empty() || rbufs.empty()) {
+      return Status(ErrorCode::InvalidClause,
+                    "comm_p2p requires sbuf and rbuf clauses");
+    }
+    if (sbufs.size() != rbufs.size()) {
+      return Status(ErrorCode::InvalidClause,
+                    "sbuf and rbuf must list the same number of buffers");
+    }
+    if (merged.find("sender") == nullptr ||
+        merged.find("receiver") == nullptr) {
+      return Status(ErrorCode::InvalidClause,
+                    "comm_p2p requires sender and receiver clauses");
+    }
+
+    const std::string sender = clause_arg(merged, "sender");
+    const std::string receiver = clause_arg(merged, "receiver");
+    const std::string sendwhen = clause_arg(merged, "sendwhen");
+    const std::string receivewhen = clause_arg(merged, "receivewhen");
+    std::string count = clause_arg(merged, "count");
+    if (count.empty()) {
+      // Count inference from array extents, resolved in the generated code.
+      std::string args;
+      for (const auto& name : sbufs) {
+        if (!args.empty()) args += ", ";
+        args += name;
+      }
+      for (const auto& name : rbufs) {
+        args += ", ";
+        args += name;
+      }
+      count = "::cid::trt::smallest_extent(" + args + ")";
+    }
+    const Target target = region != nullptr && merged.find("target") == nullptr
+                              ? region->target
+                              : directive_target(merged);
+
+    const std::string overlap(
+        source_.substr(body_begin, body_end - body_begin));
+    const bool has_overlap = !cid::trim(overlap).empty();
+    const std::string tag = std::to_string(options_.tag);
+
+    std::string out;
+    out += "{ " + annotate("comm_p2p " + std::to_string(id)) + "\n";
+
+    std::string reqs_var;
+    std::string comm_var;
+    const bool standalone = region == nullptr;
+    switch (target) {
+      case Target::Mpi2Side: {
+        if (standalone) {
+          reqs_var = "cid_reqs_" + std::to_string(id);
+          comm_var = "cid_comm_" + std::to_string(id);
+          out += "std::vector<::cid::mpi::Request> " + reqs_var + ";\n";
+          out += "auto " + comm_var + " = " + options_.comm_expr + ";\n";
+        } else {
+          reqs_var = region->requests_var;
+          comm_var = region->comm_var;
+          region->used_mpi2 = true;
+        }
+        const std::string indent = "  ";
+        std::string recv_code;
+        for (const auto& rb : rbufs) {
+          recv_code += indent + reqs_var + ".push_back(::cid::mpi::irecv(" +
+                       comm_var + ", ::cid::trt::data_ptr(" + rb +
+                       "), static_cast<std::size_t>(" + count +
+                       "), ::cid::trt::datatype_of_expr(" + rb + "), (" +
+                       sender + "), " + tag + "));\n";
+        }
+        std::string send_code;
+        for (const auto& sb : sbufs) {
+          send_code += indent + reqs_var + ".push_back(::cid::mpi::isend(" +
+                       comm_var + ", ::cid::trt::data_ptr(" + sb +
+                       "), static_cast<std::size_t>(" + count +
+                       "), ::cid::trt::datatype_of_expr(" + sb + "), (" +
+                       receiver + "), " + tag + "));\n";
+        }
+        if (!receivewhen.empty()) {
+          out += "if (" + receivewhen + ") {\n" + recv_code + "}\n";
+        } else {
+          out += recv_code;
+        }
+        if (!sendwhen.empty()) {
+          out += "if (" + sendwhen + ") {\n" + send_code + "}\n";
+        } else {
+          out += send_code;
+        }
+        break;
+      }
+
+      case Target::Shmem: {
+        std::string put_code;
+        for (std::size_t b = 0; b < sbufs.size(); ++b) {
+          put_code += "  ::cid::shmem::putmem(::cid::trt::data_ptr(" +
+                      rbufs[b] + "), ::cid::trt::data_ptr(" + sbufs[b] +
+                      "), static_cast<std::size_t>(" + count +
+                      ") * ::cid::trt::element_size(" + sbufs[b] + "), (" +
+                      receiver + "));\n";
+        }
+        if (!sendwhen.empty()) {
+          out += "if (" + sendwhen + ") {\n" + put_code + "}\n";
+        } else {
+          out += put_code;
+        }
+        if (region != nullptr) region->used_shmem = true;
+        break;
+      }
+
+      case Target::Mpi1Side: {
+        comm_var = standalone ? "cid_comm_" + std::to_string(id)
+                              : region->comm_var;
+        if (standalone) {
+          out += "auto " + comm_var + " = " + options_.comm_expr + ";\n";
+        } else {
+          region_needs_comm_ = true;
+        }
+        for (std::size_t b = 0; b < rbufs.size(); ++b) {
+          const std::string win_var =
+              "cid_win_" + std::to_string(id) + "_" + std::to_string(b);
+          out += "auto " + win_var + " = ::cid::mpi::Win::create(" + comm_var +
+                 ", ::cid::trt::data_ptr(" + rbufs[b] +
+                 "), static_cast<std::size_t>(" + count +
+                 ") * ::cid::trt::element_size(" + rbufs[b] + "));\n";
+          std::string put_code = "  " + win_var +
+                                 ".put(::cid::trt::data_ptr(" + sbufs[b] +
+                                 "), static_cast<std::size_t>(" + count +
+                                 "), ::cid::trt::datatype_of_expr(" +
+                                 sbufs[b] + "), (" + receiver + "), 0);\n";
+          if (!sendwhen.empty()) {
+            out += "if (" + sendwhen + ") {\n" + put_code + "}\n";
+          } else {
+            out += put_code;
+          }
+          window_fences_.push_back(win_var);
+        }
+        break;
+      }
+    }
+
+    if (has_overlap) {
+      out += "{ " + annotate("overlapped computation") + "\n";
+      out += overlap;
+      out += "\n}\n";
+    }
+
+    // Standalone directive (or one-sided windows): synchronize here.
+    if (target == Target::Mpi1Side) {
+      for (const auto& win_var : window_fences_) {
+        out += win_var + ".fence();\n";
+      }
+      window_fences_.clear();
+    }
+    if (standalone) {
+      switch (target) {
+        case Target::Mpi2Side:
+          out += "::cid::mpi::waitall(" + reqs_var + ");\n";
+          break;
+        case Target::Shmem:
+          out += "::cid::shmem::barrier_all();\n";
+          break;
+        case Target::Mpi1Side:
+          break;  // fences above
+      }
+    }
+    out += "}\n";
+    return out;
+  }
+
+  std::string_view source_;
+  Options options_;
+  Summary summary_;
+  int next_id_ = 1;
+  std::vector<DeferredSync> deferred_syncs_;
+  std::vector<std::string> window_fences_;
+  bool region_needs_comm_ = false;
+};
+
+}  // namespace
+
+Result<Translation> translate_source(std::string_view source,
+                                     const Options& options) {
+  return Translator(source, options).run();
+}
+
+}  // namespace cid::translate

@@ -1,0 +1,76 @@
+// Atom data of the WL-LSMS mini-app, with the exact field inventory the
+// paper's Listing 4 packs and unpacks: fourteen scalar fields (including the
+// 80-char header and the 3-vector evec), the potential/density matrices
+// vr & rhotot (2*t doubles each, t = vr.n_row()), and the core-state
+// matrices ec (doubles) and nc/lc/kc (ints), 2*tc elements each.
+#pragma once
+
+#include <cstdint>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "core/type_layout.hpp"
+
+namespace cid::wllsms {
+
+/// The scalar portion of one atom's data, grouped into a single composite
+/// (what the paper's directive version calls `scalaratomdata`). Reflected
+/// below so the directive layer can synthesize its derived datatype.
+struct AtomScalarData {
+  int local_id = 0;
+  int jmt = 0;
+  int jws = 0;
+  double xstart = 0.0;
+  double rmt = 0.0;
+  char header[80] = {};
+  double alat = 0.0;
+  double efermi = 0.0;
+  double vdif = 0.0;
+  double ztotss = 0.0;
+  double zcorss = 0.0;
+  double evec[3] = {};
+  int nspin = 0;
+  int numc = 0;
+};
+
+/// One atom's full data set.
+struct AtomData {
+  AtomScalarData scalars;
+  Matrix<double> vr;      ///< potential, (t, 2)
+  Matrix<double> rhotot;  ///< electron density, (t, 2)
+  Matrix<double> ec;      ///< core energies, (tc, 2)
+  Matrix<int> nc;         ///< core quantum numbers, (tc, 2)
+  Matrix<int> lc;
+  Matrix<int> kc;
+
+  std::size_t potential_rows() const noexcept { return vr.n_row(); }
+  std::size_t core_rows() const noexcept { return ec.n_row(); }
+
+  /// WL-LSMS's resizePotential: grow the potential matrices to `rows`.
+  void resize_potential(std::size_t rows);
+  /// WL-LSMS's resizeCore.
+  void resize_core(std::size_t rows);
+
+  /// Total wire payload in bytes (scalars + matrix payloads), for cost
+  /// accounting and buffer sizing.
+  std::size_t payload_bytes() const noexcept;
+};
+
+bool operator==(const AtomScalarData& a, const AtomScalarData& b) noexcept;
+bool operator==(const AtomData& a, const AtomData& b) noexcept;
+
+/// Deterministically generate atom `atom_id` of a system with `natoms`
+/// atoms: sizes and contents depend only on (seed, atom_id) so sender and
+/// checker agree without communicating.
+AtomData make_atom(int atom_id, std::uint64_t seed = 0x5eed);
+
+/// Matrix row count used by make_atom (t in Listing 4).
+std::size_t atom_potential_rows(int atom_id) noexcept;
+/// Core matrix row count used by make_atom.
+std::size_t atom_core_rows(int atom_id) noexcept;
+
+}  // namespace cid::wllsms
+
+CID_REFLECT_STRUCT(cid::wllsms::AtomScalarData, local_id, jmt, jws, xstart,
+                   rmt, header, alat, efermi, vdif, ztotss, zcorss, evec,
+                   nspin, numc)

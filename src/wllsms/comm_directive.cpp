@@ -1,0 +1,200 @@
+#include "wllsms/comm_directive.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "rt/runtime.hpp"
+#include "shmem/shmem.hpp"
+
+namespace cid::wllsms {
+
+using core::BufferRef;
+using core::Clauses;
+using core::Region;
+using core::Target;
+using core::buf;
+using core::buf_n;
+
+AtomStage stage_of(AtomData& atom) {
+  AtomStage stage;
+  stage.scalars = &atom.scalars;
+  stage.vr = atom.vr.data();
+  stage.rhotot = atom.rhotot.data();
+  stage.ec = atom.ec.data();
+  stage.nc = atom.nc.data();
+  stage.lc = atom.lc.data();
+  stage.kc = atom.kc.data();
+  stage.potential_count = atom.vr.size();
+  stage.core_count = atom.ec.size();
+  stage.potential_capacity = atom.vr.size();
+  stage.core_capacity = atom.ec.size();
+  return stage;
+}
+
+AtomStage make_symmetric_stage(std::size_t max_potential_count,
+                               std::size_t max_core_count) {
+  AtomStage stage;
+  stage.scalars = static_cast<AtomScalarData*>(
+      shmem::malloc_sym(sizeof(AtomScalarData)));
+  stage.vr = shmem::malloc_of<double>(max_potential_count);
+  stage.rhotot = shmem::malloc_of<double>(max_potential_count);
+  stage.ec = shmem::malloc_of<double>(max_core_count);
+  stage.nc = shmem::malloc_of<int>(max_core_count);
+  stage.lc = shmem::malloc_of<int>(max_core_count);
+  stage.kc = shmem::malloc_of<int>(max_core_count);
+  stage.potential_count = max_potential_count;
+  stage.core_count = max_core_count;
+  stage.potential_capacity = max_potential_count;
+  stage.core_capacity = max_core_count;
+  return stage;
+}
+
+namespace {
+
+/// Copy a (rows x 2) column-major matrix into a packed (count x 2) staging
+/// block, respecting the matrix's leading dimension.
+template <typename T>
+void matrix_to_stage(const Matrix<T>& m, std::size_t count, T* out) {
+  std::memcpy(out, &m(0, 0), count * sizeof(T));
+  std::memcpy(out + count, &m(0, 1), count * sizeof(T));
+}
+
+template <typename T>
+void stage_to_matrix(const T* in, std::size_t count, Matrix<T>& m) {
+  std::memcpy(&m(0, 0), in, count * sizeof(T));
+  std::memcpy(&m(0, 1), in + count, count * sizeof(T));
+}
+
+}  // namespace
+
+void load_stage(const AtomData& atom, AtomStage& stage) {
+  CID_REQUIRE(stage.potential_capacity >= atom.vr.size() &&
+                  stage.core_capacity >= atom.ec.size(),
+              ErrorCode::InvalidArgument, "stage too small for atom");
+  *stage.scalars = atom.scalars;
+  const std::size_t t = atom.vr.n_row();
+  matrix_to_stage(atom.vr, t, stage.vr);
+  matrix_to_stage(atom.rhotot, t, stage.rhotot);
+  const std::size_t tc = atom.ec.n_row();
+  matrix_to_stage(atom.ec, tc, stage.ec);
+  matrix_to_stage(atom.nc, tc, stage.nc);
+  matrix_to_stage(atom.lc, tc, stage.lc);
+  matrix_to_stage(atom.kc, tc, stage.kc);
+  stage.potential_count = 2 * t;
+  stage.core_count = 2 * tc;
+}
+
+void unload_stage(const AtomStage& stage, AtomData& atom) {
+  atom.scalars = *stage.scalars;
+  const std::size_t t = stage.potential_count / 2;
+  const std::size_t tc = stage.core_count / 2;
+  if (atom.vr.n_row() != t) atom.resize_potential(t);
+  if (atom.ec.n_row() != tc) atom.resize_core(tc);
+  stage_to_matrix(stage.vr, t, atom.vr);
+  stage_to_matrix(stage.rhotot, t, atom.rhotot);
+  stage_to_matrix(stage.ec, tc, atom.ec);
+  stage_to_matrix(stage.nc, tc, atom.nc);
+  stage_to_matrix(stage.lc, tc, atom.lc);
+  stage_to_matrix(stage.kc, tc, atom.kc);
+}
+
+void transfer_atom_directive(int from, int to, const AtomStage& stage,
+                             Target target) {
+  if (from == to) return;
+  const int me = rt::current_ctx().rank();
+
+  // Paper Listing 5, with the scalar structure, the potential/density pair,
+  // and the core-state group as the three comm_p2p instances of one
+  // comm_parameters region.
+  core::comm_parameters(
+      Clauses()
+          .sendwhen([me, from]() -> core::ExprValue { return me == from; })
+          .receivewhen([me, to]() -> core::ExprValue { return me == to; })
+          .sender(from)
+          .receiver(to)
+          .target(target),
+      [&](Region& region) {
+        region.p2p(Clauses()
+                       .sbuf(buf(*stage.scalars, "scalaratomdata"))
+                       .rbuf(buf(*stage.scalars, "scalaratomdata"))
+                       .count(1));
+        region.p2p(
+            Clauses()
+                .sbuf({buf_n(stage.vr, stage.potential_count, "vr"),
+                       buf_n(stage.rhotot, stage.potential_count, "rhotot")})
+                .rbuf({buf_n(stage.vr, stage.potential_count, "vr"),
+                       buf_n(stage.rhotot, stage.potential_count, "rhotot")})
+                .count(static_cast<core::ExprValue>(stage.potential_count)));
+        region.p2p(
+            Clauses()
+                .sbuf({buf_n(stage.ec, stage.core_count, "ec"),
+                       buf_n(stage.nc, stage.core_count, "nc"),
+                       buf_n(stage.lc, stage.core_count, "lc"),
+                       buf_n(stage.kc, stage.core_count, "kc")})
+                .rbuf({buf_n(stage.ec, stage.core_count, "ec"),
+                       buf_n(stage.nc, stage.core_count, "nc"),
+                       buf_n(stage.lc, stage.core_count, "lc"),
+                       buf_n(stage.kc, stage.core_count, "kc")})
+                .count(static_cast<core::ExprValue>(stage.core_count)));
+      });
+}
+
+void set_evec_directive(const std::vector<int>& members,
+                        const std::vector<double>& ev, int num_types,
+                        double* local_evec, Target target,
+                        const std::function<void(int type)>& overlap) {
+  CID_REQUIRE(!members.empty(), ErrorCode::InvalidArgument,
+              "set_evec_directive needs at least one member");
+  const int me = rt::current_ctx().rank();
+  const int root = members[0];
+  const int size = static_cast<int>(members.size());
+  if (size <= 1) return;
+
+  // Owner (world rank) of type p within this LIZ.
+  auto owner_of = [&](int type) {
+    return members[static_cast<std::size_t>(
+        1 + type % (size - 1))];
+  };
+
+  // A valid (never communicated) source pointer for non-root members, whose
+  // ev array is empty.
+  static thread_local double dummy_source[3] = {};
+  const double* ev_base = (me == root) ? ev.data() : dummy_source;
+  const std::size_t ev_stride = (me == root) ? 3 : 0;
+
+  int p = 0;  // loop variable captured by the clause callables (Listing 7)
+  core::comm_parameters(
+      Clauses()
+          .sendwhen([&]() -> core::ExprValue {
+            return me == root && owner_of(p) != root;
+          })
+          .receivewhen(
+              [&]() -> core::ExprValue { return me == owner_of(p); })
+          .sender(root)
+          .receiver([&]() -> core::ExprValue { return owner_of(p); })
+          .count(3)
+          .max_comm_iter(num_types)
+          .place_sync(core::SyncPlacement::EndParamRegion)
+          .target(target),
+      [&](Region& region) {
+        for (p = 0; p < num_types; ++p) {
+          region.p2p(
+              Clauses()
+                  .sbuf(buf_n(
+                      const_cast<double*>(ev_base +
+                                          ev_stride *
+                                              static_cast<std::size_t>(p)),
+                      3, "&ev[3*p]"))
+                  .rbuf(buf_n(local_evec + 3 * static_cast<std::size_t>(p), 3,
+                              "&local.atom[p].evec[0]")),
+              [&] {
+                // Initial energy computation, overlapped with the in-flight
+                // transfers (Listing 7's calculateCoreState call).
+                if (overlap && me == owner_of(p)) overlap(p);
+              });
+        }
+      });
+}
+
+}  // namespace cid::wllsms

@@ -1,0 +1,69 @@
+// The DIRECTIVE versions of the WL-LSMS communication paths, reproduced
+// from the paper:
+//  - Listing 5: single-atom-data transfer as one comm_parameters region with
+//    three comm_p2p instances (scalars as one composite; vr+rhotot as a
+//    buffer list; ec+nc+lc+kc as a buffer list).
+//  - Listing 7: the setEvec scatter as a comm_parameters region with
+//    max_comm_iter/place_sync(END_PARAM_REGION) and the initial energy
+//    computation overlapped inside the comm_p2p block.
+//
+// Retargeting is exactly one argument (the target clause) — the paper's
+// portability claim.
+#pragma once
+
+#include <functional>
+
+#include "core/core.hpp"
+#include "wllsms/atom.hpp"
+
+namespace cid::wllsms {
+
+/// Flat staging view of one atom's payloads, as the directive version
+/// organizes them ("we organized the scalar data into a single structure,
+/// and grouped each matrix according to its communicated data payload").
+/// For TARGET_COMM_SHMEM the pointers must reference symmetric objects;
+/// make_symmetric_stage() provides that.
+struct AtomStage {
+  AtomScalarData* scalars = nullptr;
+  double* vr = nullptr;
+  double* rhotot = nullptr;
+  double* ec = nullptr;
+  int* nc = nullptr;
+  int* lc = nullptr;
+  int* kc = nullptr;
+  std::size_t potential_count = 0;  ///< elements in vr / rhotot (2*t)
+  std::size_t core_count = 0;       ///< elements in ec/nc/lc/kc (2*tc)
+  std::size_t potential_capacity = 0;  ///< allocated elements in vr/rhotot
+  std::size_t core_capacity = 0;       ///< allocated elements in ec/nc/lc/kc
+};
+
+/// Stage pointing directly into an AtomData (usable for MPI targets).
+AtomStage stage_of(AtomData& atom);
+
+/// Collective symmetric staging area sized for the largest atom; every rank
+/// must call with the same capacities.
+AtomStage make_symmetric_stage(std::size_t max_potential_count,
+                               std::size_t max_core_count);
+
+/// Copy an atom into / out of a stage (local, not communication).
+void load_stage(const AtomData& atom, AtomStage& stage);
+void unload_stage(const AtomStage& stage, AtomData& atom);
+
+/// Listing 5: transfer the staged atom from world rank `from` to world rank
+/// `to` using the given target. ALL ranks must call (SPMD directive
+/// discipline); non-participants are excluded by sendwhen/receivewhen.
+void transfer_atom_directive(int from, int to, const AtomStage& stage,
+                             core::Target target);
+
+/// Listing 7: scatter the spin configuration within one LIZ.
+/// `members` are the world ranks of the LIZ (members[0] is privileged and
+/// holds `ev`, 3 doubles per type); each other member receives its owned
+/// types into local_evec[3*type..]. `overlap` (may be empty) is invoked on
+/// the receiving rank inside the directive's overlap block, once per owned
+/// type, while transfers are in flight.
+void set_evec_directive(const std::vector<int>& members,
+                        const std::vector<double>& ev, int num_types,
+                        double* local_evec, core::Target target,
+                        const std::function<void(int type)>& overlap = {});
+
+}  // namespace cid::wllsms

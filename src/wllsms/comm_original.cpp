@@ -1,0 +1,173 @@
+#include "wllsms/comm_original.hpp"
+
+#include "common/error.hpp"
+
+namespace cid::wllsms {
+
+namespace {
+
+/// Listing 4's `s`: a protocol-wide packed-buffer size known to both sides
+/// (the original code allocates one buffer large enough for any atom).
+constexpr std::size_t kPackedCapacity = 64 * 1024;
+
+/// Pack a (rows x 2) column-major matrix as 2*count contiguous elements
+/// (count elements per column), respecting the leading dimension.
+template <typename T>
+void pack_matrix(const mpi::Comm& comm, const Matrix<T>& m, std::size_t count,
+                 MutableByteSpan buffer, std::size_t& pos) {
+  mpi::pack(comm, &m(0, 0), count, buffer, pos);
+  mpi::pack(comm, &m(0, 1), count, buffer, pos);
+}
+
+template <typename T>
+void unpack_matrix(const mpi::Comm& comm, ByteSpan wire, std::size_t& pos,
+                   Matrix<T>& m, std::size_t count) {
+  mpi::unpack(comm, wire, pos, &m(0, 0), count);
+  mpi::unpack(comm, wire, pos, &m(0, 1), count);
+}
+
+}  // namespace
+
+void transfer_atom_original(const mpi::Comm& comm, int from, int to,
+                            AtomData& atom) {
+  const int rank = comm.rank();
+  if (rank != from && rank != to) return;
+  if (from == to) return;
+
+  if (rank == from) {
+    // Mirrors Listing 4 lines 2-35: pack every field, then one blocking
+    // send of the packed buffer.
+    std::vector<std::byte> buffer(kPackedCapacity);
+    std::size_t pos = 0;
+    auto& s = atom.scalars;
+    mpi::pack(comm, &s.local_id, 1, buffer, pos);
+    mpi::pack(comm, &s.jmt, 1, buffer, pos);
+    mpi::pack(comm, &s.jws, 1, buffer, pos);
+    mpi::pack(comm, &s.xstart, 1, buffer, pos);
+    mpi::pack(comm, &s.rmt, 1, buffer, pos);
+    mpi::pack(comm, s.header, 80, buffer, pos);
+    mpi::pack(comm, &s.alat, 1, buffer, pos);
+    mpi::pack(comm, &s.efermi, 1, buffer, pos);
+    mpi::pack(comm, &s.vdif, 1, buffer, pos);
+    mpi::pack(comm, &s.ztotss, 1, buffer, pos);
+    mpi::pack(comm, &s.zcorss, 1, buffer, pos);
+    mpi::pack(comm, s.evec, 3, buffer, pos);
+    mpi::pack(comm, &s.nspin, 1, buffer, pos);
+    mpi::pack(comm, &s.numc, 1, buffer, pos);
+
+    int t = static_cast<int>(atom.vr.n_row());
+    mpi::pack(comm, &t, 1, buffer, pos);
+    pack_matrix(comm, atom.vr, static_cast<std::size_t>(t), buffer, pos);
+    pack_matrix(comm, atom.rhotot, static_cast<std::size_t>(t), buffer, pos);
+
+    t = static_cast<int>(atom.ec.n_row());
+    mpi::pack(comm, &t, 1, buffer, pos);
+    pack_matrix(comm, atom.ec, static_cast<std::size_t>(t), buffer, pos);
+    pack_matrix(comm, atom.nc, static_cast<std::size_t>(t), buffer, pos);
+    pack_matrix(comm, atom.lc, static_cast<std::size_t>(t), buffer, pos);
+    pack_matrix(comm, atom.kc, static_cast<std::size_t>(t), buffer, pos);
+
+    mpi::send(comm, buffer.data(), pos,
+              mpi::Datatype::basic(mpi::BasicType::Packed), to, 0);
+    return;
+  }
+
+  // Receiver, Listing 4 lines 36-74.
+  std::vector<std::byte> buffer(kPackedCapacity);
+  const auto status = mpi::recv(comm, buffer.data(), buffer.size(),
+                                mpi::Datatype::basic(mpi::BasicType::Packed),
+                                from, 0);
+  const ByteSpan wire(buffer.data(), status.count);
+  std::size_t pos = 0;
+  auto& s = atom.scalars;
+  mpi::unpack(comm, wire, pos, &s.local_id, 1);
+  mpi::unpack(comm, wire, pos, &s.jmt, 1);
+  mpi::unpack(comm, wire, pos, &s.jws, 1);
+  mpi::unpack(comm, wire, pos, &s.xstart, 1);
+  mpi::unpack(comm, wire, pos, &s.rmt, 1);
+  mpi::unpack(comm, wire, pos, s.header, 80);
+  mpi::unpack(comm, wire, pos, &s.alat, 1);
+  mpi::unpack(comm, wire, pos, &s.efermi, 1);
+  mpi::unpack(comm, wire, pos, &s.vdif, 1);
+  mpi::unpack(comm, wire, pos, &s.ztotss, 1);
+  mpi::unpack(comm, wire, pos, &s.zcorss, 1);
+  mpi::unpack(comm, wire, pos, s.evec, 3);
+  mpi::unpack(comm, wire, pos, &s.nspin, 1);
+  mpi::unpack(comm, wire, pos, &s.numc, 1);
+
+  int t = 0;
+  mpi::unpack(comm, wire, pos, &t, 1);
+  if (static_cast<std::size_t>(t) > atom.vr.n_row()) {
+    atom.resize_potential(static_cast<std::size_t>(t) + 50);
+  }
+  unpack_matrix(comm, wire, pos, atom.vr, static_cast<std::size_t>(t));
+  unpack_matrix(comm, wire, pos, atom.rhotot, static_cast<std::size_t>(t));
+
+  mpi::unpack(comm, wire, pos, &t, 1);
+  if (static_cast<std::size_t>(t) > atom.nc.n_row()) {
+    atom.resize_core(static_cast<std::size_t>(t));
+  }
+  unpack_matrix(comm, wire, pos, atom.ec, static_cast<std::size_t>(t));
+  unpack_matrix(comm, wire, pos, atom.nc, static_cast<std::size_t>(t));
+  unpack_matrix(comm, wire, pos, atom.lc, static_cast<std::size_t>(t));
+  unpack_matrix(comm, wire, pos, atom.kc, static_cast<std::size_t>(t));
+}
+
+int spin_owner(int type, int comm_size) noexcept {
+  if (comm_size <= 1) return 0;
+  return 1 + type % (comm_size - 1);
+}
+
+int spin_local_count(int comm_rank, int num_types, int comm_size) noexcept {
+  if (comm_rank == 0 || comm_size <= 1) return 0;
+  int count = 0;
+  for (int type = 0; type < num_types; ++type) {
+    if (spin_owner(type, comm_size) == comm_rank) ++count;
+  }
+  return count;
+}
+
+void set_evec_original(const mpi::Comm& comm, const std::vector<double>& ev,
+                       int num_types, std::vector<double>& local_evec,
+                       EvecSync sync) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+
+  if (rank == 0) {
+    // Listing 6 lines 1-8: one Isend per type, then the completion loop.
+    CID_REQUIRE(ev.size() >= 3 * static_cast<std::size_t>(num_types),
+                ErrorCode::InvalidArgument, "ev too small for num_types");
+    std::vector<mpi::Request> requests;
+    requests.reserve(static_cast<std::size_t>(num_types));
+    for (int p = 0; p < num_types; ++p) {
+      const int owner = spin_owner(p, size);
+      if (owner == 0) continue;  // degenerate single-member LIZ
+      requests.push_back(
+          mpi::isend(comm, &ev[3 * static_cast<std::size_t>(p)], 3, owner, p));
+    }
+    if (sync == EvecSync::WaitLoop) {
+      for (auto& request : requests) mpi::wait(request);
+    } else {
+      mpi::waitall(requests);
+    }
+  } else {
+    // Listing 6 lines 9-16: one Irecv per owned type, then completion.
+    const int num_local = spin_local_count(rank, num_types, size);
+    CID_REQUIRE(local_evec.size() >= 3 * static_cast<std::size_t>(num_local),
+                ErrorCode::InvalidArgument, "local_evec too small");
+    std::vector<mpi::Request> requests;
+    requests.reserve(static_cast<std::size_t>(num_local));
+    for (int p = 0; p < num_local; ++p) {
+      requests.push_back(mpi::irecv(
+          comm, &local_evec[3 * static_cast<std::size_t>(p)], 3,
+          /*source=*/0, mpi::kAnyTag));
+    }
+    if (sync == EvecSync::WaitLoop) {
+      for (auto& request : requests) mpi::wait(request);
+    } else {
+      mpi::waitall(requests);
+    }
+  }
+}
+
+}  // namespace cid::wllsms

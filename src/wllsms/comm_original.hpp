@@ -1,0 +1,44 @@
+// The ORIGINAL WL-LSMS communication paths, reproduced from the paper:
+//  - Listing 4: single-atom-data transfer via MPI_Pack / blocking send /
+//    MPI_Unpack (with the receiver-side resize logic).
+//  - Listing 6: the setEvec random-spin-configuration scatter via
+//    MPI_Isend / MPI_Irecv with a per-request MPI_Wait loop.
+//  - The paper's validation variant (Section IV-B): identical to Listing 6
+//    but with one MPI_Waitall per loop instead of the Wait loop.
+#pragma once
+
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "wllsms/atom.hpp"
+
+namespace cid::wllsms {
+
+/// Listing 4: transfer `atom` from comm rank `from` to comm rank `to`.
+/// Both ranks call this; others return immediately. The receiver's `atom`
+/// is resized when the incoming matrices are larger than its allocation.
+void transfer_atom_original(const mpi::Comm& comm, int from, int to,
+                            AtomData& atom);
+
+/// How the spin vectors of `num_types` atom types map onto the members of
+/// one LSMS/LIZ communicator: types go round-robin to the non-privileged
+/// members 1..size-1 (the privileged rank 0 holds the full `ev` array).
+int spin_owner(int type, int comm_size) noexcept;
+
+/// Number of types owned by `comm_rank` (its num_local in Listing 6).
+int spin_local_count(int comm_rank, int num_types, int comm_size) noexcept;
+
+/// Completion flavour of the original setEvec.
+enum class EvecSync {
+  WaitLoop,  ///< Listing 6: loop of MPI_Wait over every request
+  Waitall,   ///< the paper's validation variant: one MPI_Waitall
+};
+
+/// Listing 6: scatter the random spin configuration. On comm rank 0, `ev`
+/// holds 3*num_types doubles; every other member receives its owned types
+/// into `local_evec` (3 doubles per owned type, in ownership order).
+void set_evec_original(const mpi::Comm& comm, const std::vector<double>& ev,
+                       int num_types, std::vector<double>& local_evec,
+                       EvecSync sync);
+
+}  // namespace cid::wllsms

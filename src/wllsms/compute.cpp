@@ -1,0 +1,23 @@
+#include "wllsms/compute.hpp"
+
+#include <cmath>
+
+namespace cid::wllsms {
+
+double calculate_core_states(rt::RankCtx& ctx, const ComputeModel& model,
+                             int atom_type) {
+  ctx.charge_compute(model.core_state_time());
+  // A small deterministic numeric kernel standing in for the spin-
+  // independent part of the multiple scattering solve, seeded by the atom
+  // type only (the overlapped computation must not touch the in-flight
+  // spin vector).
+  double energy = 0.0;
+  double x = 0.1 + 0.05 * static_cast<double>(atom_type % 16);
+  for (int i = 0; i < 16; ++i) {
+    x = std::fma(-0.4, x * x, x) + 1e-3;
+    energy += x / static_cast<double>(i + 1);
+  }
+  return energy;
+}
+
+}  // namespace cid::wllsms

@@ -1,0 +1,364 @@
+#include "wllsms/driver.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "common/error.hpp"
+#include "mpi/mpi.hpp"
+#include "rt/runtime.hpp"
+#include "shmem/shmem.hpp"
+#include "wllsms/comm_directive.hpp"
+#include "wllsms/comm_original.hpp"
+
+namespace cid::wllsms {
+
+std::vector<int> Topology::lsms_members(int i) const {
+  CID_REQUIRE(valid(), ErrorCode::InvalidArgument, "invalid topology");
+  CID_REQUIRE(i >= 0 && i < num_lsms, ErrorCode::InvalidArgument,
+              "LSMS instance out of range");
+  const int k = ranks_per_lsms();
+  std::vector<int> members(static_cast<std::size_t>(k));
+  for (int m = 0; m < k; ++m) members[static_cast<std::size_t>(m)] = 1 + i * k + m;
+  return members;
+}
+
+int Topology::lsms_of(int world_rank) const noexcept {
+  if (world_rank <= 0) return -1;
+  return (world_rank - 1) / ranks_per_lsms();
+}
+
+std::vector<int> Topology::paper_nprocs_sweep() {
+  std::vector<int> sweep;
+  for (int k = 2; k <= 21; ++k) sweep.push_back(1 + 16 * k);
+  return sweep;
+}
+
+const char* variant_name(Variant variant) noexcept {
+  switch (variant) {
+    case Variant::Original: return "original";
+    case Variant::OriginalWaitall: return "original+waitall";
+    case Variant::DirectiveMpi: return "directive-mpi2side";
+    case Variant::DirectiveShmem: return "directive-shmem";
+    case Variant::DirectiveMpi1Side: return "directive-mpi1side";
+  }
+  return "?";
+}
+
+namespace {
+
+core::Target target_of(Variant variant) {
+  switch (variant) {
+    case Variant::DirectiveMpi: return core::Target::Mpi2Side;
+    case Variant::DirectiveShmem: return core::Target::Shmem;
+    case Variant::DirectiveMpi1Side: return core::Target::Mpi1Side;
+    default:
+      throw CidError(ErrorCode::InvalidArgument,
+                     "variant has no directive target");
+  }
+}
+
+bool is_directive(Variant variant) {
+  return variant == Variant::DirectiveMpi ||
+         variant == Variant::DirectiveShmem ||
+         variant == Variant::DirectiveMpi1Side;
+}
+
+/// Deterministic spin configuration for one WL step.
+std::vector<double> make_spins(int natoms, std::uint64_t seed, int step) {
+  Rng rng(seed ^ (0xabcdULL + static_cast<std::uint64_t>(step) * 77));
+  std::vector<double> ev(3 * static_cast<std::size_t>(natoms));
+  for (double& v : ev) v = rng.next_double() * 2.0 - 1.0;
+  return ev;
+}
+
+/// The phase harness: barrier-align clocks, run the phase, report the
+/// makespan beyond the alignment barrier.
+double measure(const ExperimentConfig& config,
+               const std::function<void(rt::RankCtx&)>& phase) {
+  CID_REQUIRE((Topology{config.nprocs, config.num_lsms}.valid()),
+              ErrorCode::InvalidArgument,
+              "nprocs must be 1 + num_lsms * k with k >= 1");
+  auto result = rt::run(config.nprocs, config.model, [&](rt::RankCtx& ctx) {
+    ctx.barrier();
+    phase(ctx);
+  });
+  return result.makespan() - config.model.barrier_cost(config.nprocs);
+}
+
+}  // namespace
+
+double run_single_atom_distribution(const ExperimentConfig& config,
+                                    Variant variant) {
+  const Topology topo{config.nprocs, config.num_lsms};
+  CID_REQUIRE(variant != Variant::OriginalWaitall, ErrorCode::InvalidArgument,
+              "the Waitall validation variant applies to the spin scatter");
+
+  // Stage capacities covering the largest atom.
+  std::size_t max_pot = 0;
+  std::size_t max_core = 0;
+  for (int a = 0; a < config.natoms; ++a) {
+    max_pot = std::max(max_pot, 2 * atom_potential_rows(a));
+    max_core = std::max(max_core, 2 * atom_core_rows(a));
+  }
+
+  return measure(config, [&](rt::RankCtx& ctx) {
+    const int me = ctx.rank();
+    const int inst = topo.lsms_of(me);
+    const int k = topo.ranks_per_lsms();
+
+    if (variant == Variant::Original) {
+      if (inst < 0) return;  // WL rank idles in this phase
+      auto world = mpi::Comm::world();
+      const auto members = topo.lsms_members(inst);
+      for (int a = 0; a < config.natoms; ++a) {
+        const int owner_index = a % k;
+        if (owner_index == 0) continue;  // privileged already owns it
+        const int from = members[0];
+        const int to = members[static_cast<std::size_t>(owner_index)];
+        if (me == from) {
+          AtomData atom = make_atom(a, config.seed);
+          transfer_atom_original(world, from, to, atom);
+        } else if (me == to) {
+          AtomData atom;  // small initial allocation; resized on receive
+          atom.resize_potential(64);
+          atom.resize_core(4);
+          transfer_atom_original(world, from, to, atom);
+        }
+      }
+      return;
+    }
+
+    // Directive variants: one symmetric staging area per rank (valid for
+    // every target; required by TARGET_COMM_SHMEM). Collective allocation —
+    // all ranks, including the WL rank, participate.
+    AtomStage stage = make_symmetric_stage(max_pot, max_core);
+    const core::Target target = target_of(variant);
+    if (inst < 0) return;
+
+    const auto members = topo.lsms_members(inst);
+    for (int a = 0; a < config.natoms; ++a) {
+      const int owner_index = a % k;
+      if (owner_index == 0) continue;
+      const int from = members[0];
+      const int to = members[static_cast<std::size_t>(owner_index)];
+      if (me == from) {
+        const AtomData atom = make_atom(a, config.seed);
+        load_stage(atom, stage);
+      } else {
+        stage.potential_count = 2 * atom_potential_rows(a);
+        stage.core_count = 2 * atom_core_rows(a);
+      }
+      // Every LIZ member reaches the directive; guards select from/to.
+      transfer_atom_directive(from, to, stage, target);
+    }
+  });
+}
+
+double run_spin_scatter(const ExperimentConfig& config, Variant variant) {
+  const Topology topo{config.nprocs, config.num_lsms};
+
+  return measure(config, [&](rt::RankCtx& ctx) {
+    const int me = ctx.rank();
+    const int inst = topo.lsms_of(me);
+
+    if (!is_directive(variant)) {
+      // One sub-communicator per LSMS instance (collective over world).
+      auto world = mpi::Comm::world();
+      auto sub = world.split(inst < 0 ? -1 : inst, me);
+      if (inst < 0) return;
+      const EvecSync sync = variant == Variant::Original
+                                ? EvecSync::WaitLoop
+                                : EvecSync::Waitall;
+      std::vector<double> local_evec(
+          3 * static_cast<std::size_t>(config.natoms));
+      for (int step = 0; step < config.wl_steps; ++step) {
+        std::vector<double> ev;
+        if (sub.rank() == 0) {
+          ev = make_spins(config.natoms, config.seed, step);
+        }
+        set_evec_original(sub, ev, config.natoms, local_evec, sync);
+      }
+      return;
+    }
+
+    // Directive variants: symmetric evec storage (same offset on every PE).
+    double* local_evec =
+        shmem::malloc_of<double>(3 * static_cast<std::size_t>(config.natoms));
+    const core::Target target = target_of(variant);
+    if (inst < 0) return;
+
+    const auto members = topo.lsms_members(inst);
+    for (int step = 0; step < config.wl_steps; ++step) {
+      std::vector<double> ev;
+      if (me == members[0]) {
+        ev = make_spins(config.natoms, config.seed, step);
+      }
+      set_evec_directive(members, ev, config.natoms, local_evec, target);
+    }
+  });
+}
+
+double run_spin_with_compute(const ExperimentConfig& config, Variant variant) {
+  const Topology topo{config.nprocs, config.num_lsms};
+
+  return measure(config, [&](rt::RankCtx& ctx) {
+    const int me = ctx.rank();
+    const int inst = topo.lsms_of(me);
+
+    if (!is_directive(variant)) {
+      auto world = mpi::Comm::world();
+      auto sub = world.split(inst < 0 ? -1 : inst, me);
+      if (inst < 0) return;
+      const EvecSync sync = variant == Variant::Original
+                                ? EvecSync::WaitLoop
+                                : EvecSync::Waitall;
+      std::vector<double> local_evec(
+          3 * static_cast<std::size_t>(config.natoms));
+      const int num_local =
+          spin_local_count(sub.rank(), config.natoms, sub.size());
+      for (int step = 0; step < config.wl_steps; ++step) {
+        std::vector<double> ev;
+        if (sub.rank() == 0) {
+          ev = make_spins(config.natoms, config.seed, step);
+        }
+        set_evec_original(sub, ev, config.natoms, local_evec, sync);
+        // Sequential: computation starts only after the scatter completed.
+        for (int p = 0; p < num_local; ++p) {
+          calculate_core_states(ctx, config.compute, p);
+        }
+      }
+      return;
+    }
+
+    double* local_evec =
+        shmem::malloc_of<double>(3 * static_cast<std::size_t>(config.natoms));
+    const core::Target target = target_of(variant);
+    if (inst < 0) return;
+
+    const auto members = topo.lsms_members(inst);
+    for (int step = 0; step < config.wl_steps; ++step) {
+      std::vector<double> ev;
+      if (me == members[0]) {
+        ev = make_spins(config.natoms, config.seed, step);
+      }
+      // Overlapped: the initial energy computation runs inside the
+      // directive's overlap block while later transfers are in flight.
+      set_evec_directive(members, ev, config.natoms, local_evec, target,
+                         [&](int type) {
+                           calculate_core_states(ctx, config.compute, type);
+                         });
+    }
+  });
+}
+
+double run_wl_roundtrip(const ExperimentConfig& config, core::Target target,
+                        double* energy_out) {
+  using core::Clauses;
+  using core::ExprValue;
+  using core::Pattern;
+  using core::Region;
+  using core::buf;
+  using core::buf_n;
+
+  const Topology topo{config.nprocs, config.num_lsms};
+  const int k = topo.ranks_per_lsms();
+  auto wl_energy = std::make_shared<double>(0.0);
+
+  const double makespan = measure(config, [&](rt::RankCtx& ctx) {
+    const int me = ctx.rank();
+    const int inst = topo.lsms_of(me);
+    const std::size_t spin_elems = 3 * static_cast<std::size_t>(config.natoms);
+
+    // Symmetric state: the WL->privileged staging area, the per-member spin
+    // vectors, the per-LIZ energy slots and the WL-side totals.
+    double* spin_stage = shmem::malloc_of<double>(spin_elems);
+    double* local_evec = shmem::malloc_of<double>(spin_elems);
+    double* member_energies =
+        shmem::malloc_of<double>(static_cast<std::size_t>(k));
+    double* wl_slots = shmem::malloc_of<double>(
+        static_cast<std::size_t>(config.num_lsms) + 1);
+    double my_energy[1] = {0.0};
+    double liz_total[1] = {0.0};
+    ctx.barrier();
+
+    double accumulated = 0.0;
+    for (int step = 0; step < config.wl_steps; ++step) {
+      // --- Phase A: WL rank scatters the spin set to each privileged rank.
+      std::vector<double> ev;
+      if (me == 0) ev = make_spins(config.natoms, config.seed, step);
+      const double* ev_base = me == 0 ? ev.data() : spin_stage;
+      for (int i = 0; i < config.num_lsms; ++i) {
+        const int priv = topo.lsms_members(i)[0];
+        core::comm_p2p(
+            Clauses()
+                .sender(0)
+                .receiver(priv)
+                .sendwhen([me]() -> ExprValue { return me == 0; })
+                .receivewhen([me, priv]() -> ExprValue { return me == priv; })
+                .count(static_cast<ExprValue>(spin_elems))
+                .target(target)
+                .sbuf(buf_n(const_cast<double*>(ev_base), spin_elems, "ev"))
+                .rbuf(buf_n(spin_stage, spin_elems, "spin_stage")));
+      }
+
+      // --- Phase B: Listing 7 inside each LIZ, with overlapped energies.
+      my_energy[0] = 0.0;
+      if (inst >= 0) {
+        const auto members = topo.lsms_members(inst);
+        std::vector<double> liz_ev;
+        if (me == members[0]) {
+          liz_ev.assign(spin_stage, spin_stage + spin_elems);
+        }
+        set_evec_directive(
+            members, liz_ev, config.natoms, local_evec, target,
+            [&](int type) {
+              my_energy[0] +=
+                  calculate_core_states(ctx, config.compute, type);
+            });
+      }
+
+      // --- Phase C: MANY_TO_ONE inside each LIZ (group = LSMS instance,
+      // WL rank excluded by a negative color; group rank 0 = privileged).
+      core::comm_collective(
+          Clauses()
+              .pattern(Pattern::ManyToOne)
+              .root(0)
+              .group([inst]() -> ExprValue { return inst; })
+              .count(1)
+              .target(target)
+              .sbuf(buf(my_energy))
+              .rbuf(buf_n(member_energies, static_cast<std::size_t>(k))));
+      liz_total[0] = 0.0;
+      if (inst >= 0 && me == topo.lsms_members(inst)[0]) {
+        for (int m = 0; m < k; ++m) liz_total[0] += member_energies[m];
+      }
+
+      // --- Phase D: MANY_TO_ONE over {WL, privileged ranks} back to WL.
+      core::comm_collective(
+          Clauses()
+              .pattern(Pattern::ManyToOne)
+              .root(0)
+              .group([&]() -> ExprValue {
+                if (me == 0) return 0;
+                return inst >= 0 && me == topo.lsms_members(inst)[0] ? 0 : -1;
+              })
+              .count(1)
+              .target(target)
+              .sbuf(buf(liz_total))
+              .rbuf(buf_n(wl_slots,
+                          static_cast<std::size_t>(config.num_lsms) + 1)));
+      if (me == 0) {
+        for (int i = 1; i <= config.num_lsms; ++i) {
+          accumulated += wl_slots[i];
+        }
+      }
+    }
+    if (me == 0) *wl_energy = accumulated;
+  });
+
+  if (energy_out != nullptr) *energy_out = *wl_energy;
+  return makespan;
+}
+
+}  // namespace cid::wllsms

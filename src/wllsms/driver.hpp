@@ -1,0 +1,88 @@
+// Experiment drivers: the process topology of Figure 1 (one Wang-Landau
+// rank, M LSMS instances of K ranks each, a privileged rank per LIZ) and the
+// measured phases of Figures 3-5, each runnable with the original
+// communication or the directive version on a chosen target.
+//
+// All returned times are VIRTUAL seconds (deterministic makespans from the
+// LogGP machine model), not wall-clock.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/clauses.hpp"
+#include "simnet/machine_model.hpp"
+#include "wllsms/compute.hpp"
+
+namespace cid::wllsms {
+
+/// The WL-LSMS process layout: world rank 0 runs Wang-Landau; the remaining
+/// ranks form `num_lsms` equal LSMS instances.
+struct Topology {
+  int nprocs = 0;
+  int num_lsms = 16;
+
+  int ranks_per_lsms() const noexcept {
+    return (nprocs - 1) / num_lsms;
+  }
+  bool valid() const noexcept {
+    return nprocs > num_lsms && (nprocs - 1) % num_lsms == 0;
+  }
+  /// World ranks of LSMS instance `i` (members[0] is privileged).
+  std::vector<int> lsms_members(int i) const;
+  /// LSMS instance of a world rank, or -1 for the WL rank.
+  int lsms_of(int world_rank) const noexcept;
+
+  /// The paper's sweep: 33, 49, ..., 337 (1 WL + 16 LSMS x k, k = 2..21).
+  static std::vector<int> paper_nprocs_sweep();
+};
+
+/// Communication variant under test.
+enum class Variant {
+  Original,          ///< hand-written MPI (Listings 4 / 6)
+  OriginalWaitall,   ///< Listing 6 with Waitall (paper's 2.6x validation)
+  DirectiveMpi,      ///< directives targeting TARGET_COMM_MPI_2SIDE
+  DirectiveShmem,    ///< directives targeting TARGET_COMM_SHMEM
+  DirectiveMpi1Side, ///< directives targeting TARGET_COMM_MPI_1SIDE
+};
+
+const char* variant_name(Variant variant) noexcept;
+
+struct ExperimentConfig {
+  int nprocs = 33;
+  int num_lsms = 16;
+  int natoms = 16;  ///< the paper's sixteen iron atoms
+  int wl_steps = 8;  ///< main-loop iterations measured for Figures 4/5
+  std::uint64_t seed = 0x5eed;
+  simnet::MachineModel model = simnet::MachineModel::cray_xk7_gemini();
+  ComputeModel compute;
+};
+
+/// Figure 3 phase: distribute every atom's potentials and electron
+/// densities from each LIZ's privileged rank to the owning member.
+/// Returns the virtual makespan of the distribution.
+double run_single_atom_distribution(const ExperimentConfig& config,
+                                    Variant variant);
+
+/// Figure 4 phase: the setEvec random-spin-configuration scatter inside
+/// every LIZ, repeated for wl_steps main-loop iterations.
+double run_spin_scatter(const ExperimentConfig& config, Variant variant);
+
+/// Figure 5 phase: spin scatter plus the initial energy computation, either
+/// sequential (original) or overlapped via the directive (directive
+/// variants). config.compute.gpu_speedup selects the projected GPU port.
+double run_spin_with_compute(const ExperimentConfig& config, Variant variant);
+
+/// One complete Wang-Landau round trip per step (Figure 1's full
+/// communication structure, directives only): the WL rank scatters the spin
+/// configuration to every LIZ's privileged rank (comm_p2p), each LIZ runs
+/// the directive setEvec with overlapped energy computation (Listing 7),
+/// and the per-LIZ energies return to the WL rank through a MANY_TO_ONE
+/// comm_collective over the group {WL, privileged ranks} — the Section V
+/// extension applied to the motivating application. Returns the virtual
+/// makespan; `energy_out`, when non-null, receives the final WL-side total
+/// (deterministic).
+double run_wl_roundtrip(const ExperimentConfig& config, core::Target target,
+                        double* energy_out = nullptr);
+
+}  // namespace cid::wllsms

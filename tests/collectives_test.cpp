@@ -1,0 +1,200 @@
+// Tests for miniMPI collectives: correctness across rank counts (including
+// non-powers of two and non-zero roots), virtual-time tree behaviour, and
+// subcommunicator operation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mpi/mpi.hpp"
+#include "rt/runtime.hpp"
+
+namespace {
+
+using cid::rt::RankCtx;
+using cid::simnet::MachineModel;
+namespace mpi = cid::mpi;
+
+void spmd(int nranks, const cid::rt::RankFn& fn) {
+  cid::rt::run(nranks, MachineModel::zero(), fn);
+}
+
+class CollectiveSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSizes, BcastFromZero) {
+  spmd(GetParam(), [](RankCtx& ctx) {
+    auto world = mpi::Comm::world();
+    std::vector<double> data(5, ctx.rank() == 0 ? 0.0 : -1.0);
+    if (ctx.rank() == 0) std::iota(data.begin(), data.end(), 10.0);
+    mpi::bcast(world, data.data(), data.size(), 0);
+    for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(data[i], 10.0 + i);
+  });
+}
+
+TEST_P(CollectiveSizes, BcastFromNonzeroRoot) {
+  const int nranks = GetParam();
+  const int root = nranks - 1;
+  spmd(nranks, [root](RankCtx& ctx) {
+    auto world = mpi::Comm::world();
+    int value = ctx.rank() == root ? 777 : 0;
+    mpi::bcast(world, &value, 1, root);
+    EXPECT_EQ(value, 777);
+  });
+}
+
+TEST_P(CollectiveSizes, GatherCollectsBlocks) {
+  const int nranks = GetParam();
+  spmd(nranks, [nranks](RankCtx& ctx) {
+    auto world = mpi::Comm::world();
+    std::array<int, 2> mine{ctx.rank() * 2, ctx.rank() * 2 + 1};
+    std::vector<int> all(2 * static_cast<std::size_t>(nranks), -1);
+    mpi::gather(world, mine.data(), 2, all.data(), 0);
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 2 * nranks; ++i) EXPECT_EQ(all[i], i);
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, ScatterDistributesBlocks) {
+  const int nranks = GetParam();
+  spmd(nranks, [nranks](RankCtx& ctx) {
+    auto world = mpi::Comm::world();
+    std::vector<double> source;
+    if (ctx.rank() == 1 % nranks) {
+      source.resize(3 * static_cast<std::size_t>(nranks));
+      std::iota(source.begin(), source.end(), 0.0);
+    }
+    std::array<double, 3> mine{};
+    mpi::scatter(world, source.data(), 3, mine.data(), 1 % nranks);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_DOUBLE_EQ(mine[static_cast<std::size_t>(i)],
+                       3.0 * ctx.rank() + i);
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, AllgatherEveryoneSeesEverything) {
+  const int nranks = GetParam();
+  spmd(nranks, [nranks](RankCtx& ctx) {
+    auto world = mpi::Comm::world();
+    int mine = 100 + ctx.rank();
+    std::vector<int> all(static_cast<std::size_t>(nranks), -1);
+    mpi::allgather(world, &mine, 1, all.data());
+    for (int r = 0; r < nranks; ++r) EXPECT_EQ(all[r], 100 + r);
+  });
+}
+
+TEST_P(CollectiveSizes, AlltoallTransposesBlocks) {
+  const int nranks = GetParam();
+  spmd(nranks, [nranks](RankCtx& ctx) {
+    auto world = mpi::Comm::world();
+    std::vector<int> send(static_cast<std::size_t>(nranks));
+    std::vector<int> recv(static_cast<std::size_t>(nranks), -1);
+    for (int j = 0; j < nranks; ++j) send[j] = ctx.rank() * 1000 + j;
+    mpi::alltoall(world, send.data(), 1, recv.data());
+    for (int j = 0; j < nranks; ++j) {
+      EXPECT_EQ(recv[j], j * 1000 + ctx.rank());
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, ReduceSum) {
+  const int nranks = GetParam();
+  spmd(nranks, [nranks](RankCtx& ctx) {
+    auto world = mpi::Comm::world();
+    std::array<double, 2> mine{1.0, static_cast<double>(ctx.rank())};
+    std::array<double, 2> total{};
+    mpi::reduce(world, mine.data(), total.data(), 2, mpi::ReduceOp::Sum, 0);
+    if (ctx.rank() == 0) {
+      EXPECT_DOUBLE_EQ(total[0], nranks);
+      EXPECT_DOUBLE_EQ(total[1], nranks * (nranks - 1) / 2.0);
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, AllreduceMinMax) {
+  const int nranks = GetParam();
+  spmd(nranks, [nranks](RankCtx& ctx) {
+    auto world = mpi::Comm::world();
+    int mine = ctx.rank() * 7 % 13;
+    int lowest = 0;
+    mpi::allreduce(world, &mine, &lowest, 1, mpi::ReduceOp::Min);
+    int expected_min = INT32_MAX;
+    for (int r = 0; r < nranks; ++r) {
+      expected_min = std::min(expected_min, r * 7 % 13);
+    }
+    EXPECT_EQ(lowest, expected_min);
+
+    int highest = 0;
+    mpi::allreduce(world, &mine, &highest, 1, mpi::ReduceOp::Max);
+    int expected_max = INT32_MIN;
+    for (int r = 0; r < nranks; ++r) {
+      expected_max = std::max(expected_max, r * 7 % 13);
+    }
+    EXPECT_EQ(highest, expected_max);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectiveSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16));
+
+TEST(Collectives, ReduceProd) {
+  spmd(4, [](RankCtx& ctx) {
+    auto world = mpi::Comm::world();
+    double mine = ctx.rank() + 1.0;
+    double prod = 0.0;
+    mpi::reduce(world, &mine, &prod, 1, mpi::ReduceOp::Prod, 0);
+    if (ctx.rank() == 0) { EXPECT_DOUBLE_EQ(prod, 24.0); }
+  });
+}
+
+TEST(Collectives, WorkOnSubcommunicators) {
+  spmd(8, [](RankCtx& ctx) {
+    auto world = mpi::Comm::world();
+    auto sub = world.split(ctx.rank() % 2, ctx.rank());
+    int value = sub.rank() == 0 ? (ctx.rank() % 2 + 1) * 50 : 0;
+    mpi::bcast(sub, &value, 1, 0);
+    EXPECT_EQ(value, (ctx.rank() % 2 + 1) * 50);
+
+    int sum = 0;
+    int one = 1;
+    mpi::allreduce(sub, &one, &sum, 1, mpi::ReduceOp::Sum);
+    EXPECT_EQ(sum, 4);
+  });
+}
+
+TEST(Collectives, BcastTimeScalesLogarithmically) {
+  const auto model = MachineModel::cray_xk7_gemini();
+  auto run_bcast = [&](int nranks) {
+    auto result = cid::rt::run(nranks, model, [](RankCtx&) {
+      double payload[16] = {};
+      mpi::bcast(mpi::Comm::world(), payload, 16, 0);
+    });
+    return result.makespan();
+  };
+  const double t4 = run_bcast(4);
+  const double t16 = run_bcast(16);
+  const double t64 = run_bcast(64);
+  // Binomial tree: doubling the depth adds about one message hop per level,
+  // so going 4 -> 16 -> 64 adds roughly constant increments, far from the
+  // linear growth a flat bcast would show.
+  EXPECT_LT(t64, 4.0 * t4);
+  EXPECT_NEAR(t16 - t4, t64 - t16, (t64 - t16) * 0.6 + 1e-9);
+}
+
+TEST(Collectives, ConsecutiveCollectivesDoNotInterfere) {
+  spmd(6, [](RankCtx& ctx) {
+    auto world = mpi::Comm::world();
+    for (int round = 0; round < 5; ++round) {
+      int value = ctx.rank() == 0 ? round * 11 : -1;
+      mpi::bcast(world, &value, 1, 0);
+      EXPECT_EQ(value, round * 11);
+      int sum = 0;
+      int contribution = value + ctx.rank();
+      mpi::allreduce(world, &contribution, &sum, 1, mpi::ReduceOp::Sum);
+      EXPECT_EQ(sum, 6 * round * 11 + 15);
+    }
+  });
+}
+
+}  // namespace

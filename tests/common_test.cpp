@@ -1,0 +1,222 @@
+// Tests for the common module: Status/Result, Matrix, RNG determinism,
+// string utilities, byte-range helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace {
+
+using namespace cid;
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(Status, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::Ok);
+  EXPECT_EQ(status.to_string(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status status(ErrorCode::InvalidClause, "bad clause");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::InvalidClause);
+  EXPECT_EQ(status.to_string(), "INVALID_CLAUSE: bad clause");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (ErrorCode code :
+       {ErrorCode::Ok, ErrorCode::InvalidArgument, ErrorCode::InvalidClause,
+        ErrorCode::ParseError, ErrorCode::TypeError,
+        ErrorCode::UnsupportedTarget, ErrorCode::RuntimeFault,
+        ErrorCode::IoError}) {
+    EXPECT_FALSE(error_code_name(code).empty());
+    EXPECT_NE(error_code_name(code), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_TRUE(result.status().is_ok());
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> result(Status(ErrorCode::ParseError, "nope"));
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::ParseError);
+  EXPECT_THROW(result.value(), std::logic_error);
+}
+
+TEST(Result, TakeMovesValue) {
+  Result<std::string> result(std::string(100, 'x'));
+  std::string taken = std::move(result).take();
+  EXPECT_EQ(taken.size(), 100u);
+}
+
+TEST(CidError, RequireMacroAddsLocation) {
+  try {
+    CID_REQUIRE(1 == 2, ErrorCode::InvalidArgument, "arithmetic broke");
+    FAIL();
+  } catch (const CidError& error) {
+    EXPECT_EQ(error.code(), ErrorCode::InvalidArgument);
+    const std::string what = error.what();
+    EXPECT_NE(what.find("arithmetic broke"), std::string::npos);
+    EXPECT_NE(what.find("common_test.cpp"), std::string::npos);
+  }
+}
+
+// --- Matrix -------------------------------------------------------------------
+
+TEST(Matrix, ColumnMajorLayout) {
+  Matrix<int> m(3, 2);
+  int v = 0;
+  for (std::size_t j = 0; j < 2; ++j) {
+    for (std::size_t i = 0; i < 3; ++i) m(i, j) = v++;
+  }
+  // Column-major: data[] holds column 0 then column 1.
+  EXPECT_EQ(m.data()[0], 0);
+  EXPECT_EQ(m.data()[2], 2);
+  EXPECT_EQ(m.data()[3], 3);
+  EXPECT_EQ(&m(0, 1), m.data() + 3);
+  EXPECT_EQ(m.n_row(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+}
+
+TEST(Matrix, ResizePreservesWindow) {
+  Matrix<double> m(2, 2);
+  m(0, 0) = 1.0;
+  m(1, 1) = 4.0;
+  m.resize(4, 3, -1.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+  EXPECT_DOUBLE_EQ(m(3, 2), -1.0);
+  m.resize(1, 1);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Matrix, OutOfRangeThrows) {
+  Matrix<int> m(2, 2);
+  EXPECT_THROW(m(2, 0), CidError);
+  EXPECT_THROW(m(0, 2), CidError);
+}
+
+TEST(Matrix, EqualityIsElementwise) {
+  Matrix<int> a(2, 2, 7);
+  Matrix<int> b(2, 2, 7);
+  EXPECT_TRUE(a == b);
+  b(1, 1) = 8;
+  EXPECT_FALSE(a == b);
+  Matrix<int> c(2, 3, 7);
+  EXPECT_FALSE(a == c);
+}
+
+// --- RNG ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    (void)c.next_u64();
+  }
+  Rng a2(123), c2(124);
+  EXPECT_NE(a2.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit over 1000 draws
+}
+
+// --- strings -------------------------------------------------------------------
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\n x \r\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("nospace"), "nospace");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, SplitTopLevelRespectsNesting) {
+  const auto parts = split_top_level("f(a,b), c[d,e], {g,h}, i", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(trim(parts[0]), "f(a,b)");
+  EXPECT_EQ(trim(parts[1]), "c[d,e]");
+  EXPECT_EQ(trim(parts[2]), "{g,h}");
+  EXPECT_EQ(trim(parts[3]), "i");
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replace_all("xyx", "y", ""), "xx");
+  EXPECT_EQ(replace_all("none", "q", "z"), "none");
+  EXPECT_EQ(replace_all("loop", "", "z"), "loop");  // empty needle is a no-op
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("rank"));
+  EXPECT_TRUE(is_identifier("_x1"));
+  EXPECT_FALSE(is_identifier("1x"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("a-b"));
+  EXPECT_FALSE(is_identifier("a b"));
+}
+
+// --- bytes ---------------------------------------------------------------------
+
+TEST(Bytes, RangesOverlap) {
+  char block[16];
+  EXPECT_TRUE(ranges_overlap(block, 8, block + 4, 8));
+  EXPECT_FALSE(ranges_overlap(block, 4, block + 4, 4));  // adjacent
+  EXPECT_TRUE(ranges_overlap(block, 16, block + 15, 1));
+  EXPECT_FALSE(ranges_overlap(block, 1, block + 8, 1));
+}
+
+TEST(Bytes, AsBytesOfObject) {
+  double value = 1.5;
+  auto bytes = as_bytes_of(value);
+  EXPECT_EQ(bytes.size(), sizeof(double));
+  auto writable = as_writable_bytes_of(value);
+  EXPECT_EQ(static_cast<void*>(writable.data()), static_cast<void*>(&value));
+}
+
+}  // namespace

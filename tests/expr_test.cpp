@@ -1,0 +1,182 @@
+// Tests for the clause expression mini-language.
+#include <gtest/gtest.h>
+
+#include "core/expr.hpp"
+
+namespace {
+
+using cid::core::Env;
+using cid::core::Expr;
+using cid::core::ExprValue;
+
+ExprValue eval(const std::string& text, const Env& env = {}) {
+  auto expr = Expr::parse(text);
+  EXPECT_TRUE(expr.is_ok()) << expr.status().to_string();
+  auto value = expr.value().eval(env);
+  EXPECT_TRUE(value.is_ok()) << value.status().to_string();
+  return value.value();
+}
+
+Env rank_env(ExprValue rank, ExprValue nprocs) {
+  Env env;
+  env.bind("rank", rank);
+  env.bind("nprocs", nprocs);
+  return env;
+}
+
+TEST(Expr, Literals) {
+  EXPECT_EQ(eval("0"), 0);
+  EXPECT_EQ(eval("42"), 42);
+  EXPECT_EQ(eval("123456789"), 123456789);
+}
+
+TEST(Expr, Arithmetic) {
+  EXPECT_EQ(eval("1+2*3"), 7);
+  EXPECT_EQ(eval("(1+2)*3"), 9);
+  EXPECT_EQ(eval("10-4-3"), 3);  // left associative
+  EXPECT_EQ(eval("20/3"), 6);
+  EXPECT_EQ(eval("20%3"), 2);
+  EXPECT_EQ(eval("-5+2"), -3);
+  EXPECT_EQ(eval("--5"), 5);
+}
+
+TEST(Expr, Comparisons) {
+  EXPECT_EQ(eval("3==3"), 1);
+  EXPECT_EQ(eval("3!=3"), 0);
+  EXPECT_EQ(eval("2<3"), 1);
+  EXPECT_EQ(eval("3<=3"), 1);
+  EXPECT_EQ(eval("4>5"), 0);
+  EXPECT_EQ(eval("5>=5"), 1);
+}
+
+TEST(Expr, Logical) {
+  EXPECT_EQ(eval("1&&0"), 0);
+  EXPECT_EQ(eval("1&&2"), 1);
+  EXPECT_EQ(eval("0||3"), 1);
+  EXPECT_EQ(eval("0||0"), 0);
+  EXPECT_EQ(eval("!0"), 1);
+  EXPECT_EQ(eval("!7"), 0);
+}
+
+TEST(Expr, ShortCircuitSkipsDivisionByZero) {
+  // C semantics: RHS not evaluated when the result is already decided.
+  EXPECT_EQ(eval("0 && 1/0"), 0);
+  EXPECT_EQ(eval("1 || 1/0"), 1);
+}
+
+TEST(Expr, Ternary) {
+  EXPECT_EQ(eval("1 ? 10 : 20"), 10);
+  EXPECT_EQ(eval("0 ? 10 : 20"), 20);
+  EXPECT_EQ(eval("1 ? 0 ? 1 : 2 : 3"), 2);  // nested, right associative
+}
+
+TEST(Expr, PaperListing1RingNeighbours) {
+  // prev = (rank-1+nprocs)%nprocs; next = (rank+1)%nprocs
+  EXPECT_EQ(eval("(rank-1+nprocs)%nprocs", rank_env(0, 8)), 7);
+  EXPECT_EQ(eval("(rank+1)%nprocs", rank_env(7, 8)), 0);
+  EXPECT_EQ(eval("(rank+1)%nprocs", rank_env(3, 8)), 4);
+}
+
+TEST(Expr, PaperListing2ParityGuards) {
+  EXPECT_EQ(eval("rank%2==0", rank_env(4, 8)), 1);
+  EXPECT_EQ(eval("rank%2==0", rank_env(5, 8)), 0);
+  EXPECT_EQ(eval("rank%2==1", rank_env(5, 8)), 1);
+}
+
+TEST(Expr, Variables) {
+  Env env;
+  env.bind("n", 12);
+  env.bind("from_rank", 3);
+  EXPECT_EQ(eval("n*2", env), 24);
+  EXPECT_EQ(eval("from_rank==3", env), 1);
+}
+
+TEST(Expr, UnboundVariableIsEvalError) {
+  auto expr = Expr::parse("missing+1");
+  ASSERT_TRUE(expr.is_ok());
+  auto value = expr.value().eval(Env{});
+  EXPECT_FALSE(value.is_ok());
+  EXPECT_EQ(value.status().code(), cid::ErrorCode::ParseError);
+}
+
+TEST(Expr, DivisionByZeroIsEvalError) {
+  auto expr = Expr::parse("10/0");
+  ASSERT_TRUE(expr.is_ok());
+  EXPECT_FALSE(expr.value().eval(Env{}).is_ok());
+  auto mod = Expr::parse("10%0");
+  ASSERT_TRUE(mod.is_ok());
+  EXPECT_FALSE(mod.value().eval(Env{}).is_ok());
+}
+
+TEST(Expr, ParseErrors) {
+  EXPECT_FALSE(Expr::parse("").is_ok());
+  EXPECT_FALSE(Expr::parse("1+").is_ok());
+  EXPECT_FALSE(Expr::parse("(1").is_ok());
+  EXPECT_FALSE(Expr::parse("1)").is_ok());
+  EXPECT_FALSE(Expr::parse("a=1").is_ok());
+  EXPECT_FALSE(Expr::parse("a&b").is_ok());
+  EXPECT_FALSE(Expr::parse("1 2").is_ok());
+  EXPECT_FALSE(Expr::parse("$x").is_ok());
+  EXPECT_FALSE(Expr::parse("1 ? 2").is_ok());
+}
+
+TEST(Expr, ParseErrorsCarryPosition) {
+  auto result = Expr::parse("rank +* 2");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("position"), std::string::npos);
+}
+
+TEST(Expr, ToStringRoundTrips) {
+  for (const char* text :
+       {"(rank-1+nprocs)%nprocs", "rank%2==0", "1?2:3", "!(a&&b)", "-x+3"}) {
+    auto first = Expr::parse(text);
+    ASSERT_TRUE(first.is_ok()) << text;
+    const std::string printed = first.value().to_string();
+    auto second = Expr::parse(printed);
+    ASSERT_TRUE(second.is_ok()) << printed;
+    EXPECT_EQ(second.value().to_string(), printed);
+  }
+}
+
+TEST(Expr, ToStringEvaluatesIdentically) {
+  Env env = rank_env(5, 16);
+  env.bind("a", 1);
+  env.bind("b", 0);
+  env.bind("x", 9);
+  for (const char* text :
+       {"(rank-1+nprocs)%nprocs", "rank%2==0", "rank*3-nprocs/2", "!(a&&b)",
+        "-x+3", "a||b&&x>2"}) {
+    auto original = Expr::parse(text);
+    ASSERT_TRUE(original.is_ok());
+    auto reprinted = Expr::parse(original.value().to_string());
+    ASSERT_TRUE(reprinted.is_ok());
+    EXPECT_EQ(original.value().eval(env).value(),
+              reprinted.value().eval(env).value())
+        << text;
+  }
+}
+
+TEST(Expr, FreeVariables) {
+  auto expr = Expr::parse("(rank+1)%nprocs + size*size");
+  ASSERT_TRUE(expr.is_ok());
+  const auto vars = expr.value().free_variables();
+  EXPECT_EQ(vars, (std::vector<std::string>{"nprocs", "rank", "size"}));
+}
+
+TEST(Expr, OperatorPrecedenceMatchesC) {
+  EXPECT_EQ(eval("2+3*4==14"), 1);
+  EXPECT_EQ(eval("1<2==1"), 1);       // (1<2)==1
+  EXPECT_EQ(eval("1||0&&0"), 1);      // && binds tighter than ||
+  EXPECT_EQ(eval("6%4*2"), 4);        // (6%4)*2
+  EXPECT_EQ(eval("-2*3"), -6);
+  EXPECT_EQ(eval("!1==0"), 1);        // (!1)==0
+}
+
+TEST(Env, RebindOverwrites) {
+  Env env;
+  env.bind("x", 1);
+  env.bind("x", 2);
+  EXPECT_EQ(env.lookup("x").value(), 2);
+}
+
+}  // namespace

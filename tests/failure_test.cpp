@@ -1,0 +1,207 @@
+// Failure-injection tests: a rank that throws mid-communication must poison
+// the world so every other rank unwinds (no deadlock), the original
+// exception must surface, and subsequent SPMD runs in the same process must
+// start clean.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/core.hpp"
+#include "mpi/mpi.hpp"
+#include "rt/runtime.hpp"
+#include "shmem/shmem.hpp"
+
+namespace {
+
+using namespace cid::core;
+using cid::rt::RankCtx;
+using cid::simnet::MachineModel;
+namespace mpi = cid::mpi;
+
+struct Boom : std::runtime_error {
+  Boom() : std::runtime_error("injected failure") {}
+};
+
+TEST(FailureInjection, ThrowWhilePeersBlockOnRecv) {
+  EXPECT_THROW(
+      cid::rt::run(4, MachineModel::zero(),
+                   [](RankCtx& ctx) {
+                     if (ctx.rank() == 0) throw Boom{};
+                     int never = 0;
+                     mpi::recv(mpi::Comm::world(), &never, 1, 0, 0);
+                   }),
+      Boom);
+}
+
+TEST(FailureInjection, ThrowWhilePeersBlockOnWait) {
+  EXPECT_THROW(
+      cid::rt::run(3, MachineModel::zero(),
+                   [](RankCtx& ctx) {
+                     auto world = mpi::Comm::world();
+                     if (ctx.rank() == 2) throw Boom{};
+                     int never = 0;
+                     auto req = mpi::irecv(world, &never, 1, 2, 0);
+                     mpi::wait(req);
+                   }),
+      Boom);
+}
+
+TEST(FailureInjection, ThrowWhilePeersBlockOnBarrier) {
+  EXPECT_THROW(cid::rt::run(4, MachineModel::zero(),
+                            [](RankCtx& ctx) {
+                              if (ctx.rank() == 1) throw Boom{};
+                              ctx.barrier();
+                            }),
+               Boom);
+}
+
+TEST(FailureInjection, ThrowWhilePeersBlockOnCommBarrier) {
+  EXPECT_THROW(cid::rt::run(4, MachineModel::zero(),
+                            [](RankCtx& ctx) {
+                              auto world = mpi::Comm::world();
+                              if (ctx.rank() == 3) throw Boom{};
+                              world.barrier();
+                            }),
+               Boom);
+}
+
+TEST(FailureInjection, ThrowWhilePeersBlockInSplit) {
+  EXPECT_THROW(cid::rt::run(4, MachineModel::zero(),
+                            [](RankCtx& ctx) {
+                              if (ctx.rank() == 0) throw Boom{};
+                              auto world = mpi::Comm::world();
+                              (void)world.split(0, ctx.rank());
+                            }),
+               Boom);
+}
+
+TEST(FailureInjection, ThrowWhilePeersBlockInShmemWait) {
+  EXPECT_THROW(
+      cid::rt::run(2, MachineModel::zero(),
+                   [](RankCtx& ctx) {
+                     namespace shmem = cid::shmem;
+                     auto* flag = shmem::malloc_of<std::uint64_t>(1);
+                     if (ctx.rank() == 0) throw Boom{};
+                     shmem::wait_until(flag, shmem::Cmp::Ge, 1);
+                   }),
+      Boom);
+}
+
+TEST(FailureInjection, ThrowWhilePeersBlockInCollective) {
+  EXPECT_THROW(
+      cid::rt::run(5, MachineModel::zero(),
+                   [](RankCtx& ctx) {
+                     auto world = mpi::Comm::world();
+                     if (ctx.rank() == 4) throw Boom{};
+                     double value = 0.0;
+                     mpi::bcast(world, &value, 1, 0);
+                   }),
+      Boom);
+}
+
+TEST(FailureInjection, ThrowInsideDirectiveRegionUnwinds) {
+  EXPECT_THROW(
+      cid::rt::run(3, MachineModel::zero(),
+                   [](RankCtx& ctx) {
+                     double a[2] = {}, b[2] = {};
+                     comm_parameters(
+                         Clauses().sender(0).receiver(1).sendwhen("rank==0")
+                             .receivewhen("rank==1"),
+                         [&](Region& region) {
+                           region.p2p(Clauses().sbuf(buf(a)).rbuf(buf(b)));
+                           if (ctx.rank() == 2) throw Boom{};
+                           region.p2p(Clauses().sbuf(buf(a)).rbuf(buf(b)));
+                         });
+                     // Unreached on rank 2; the others must unwind when
+                     // waiting for messages that can no longer arrive.
+                   }),
+      Boom);
+}
+
+TEST(FailureInjection, ThrowInsideOverlapBlock) {
+  EXPECT_THROW(
+      cid::rt::run(2, MachineModel::zero(),
+                   [](RankCtx& ctx) {
+                     double a[2] = {}, b[2] = {};
+                     comm_p2p(Clauses()
+                                  .sender(0)
+                                  .receiver(1)
+                                  .sendwhen("rank==0")
+                                  .receivewhen("rank==1")
+                                  .sbuf(buf(a))
+                                  .rbuf(buf(b)),
+                              [&] {
+                                if (ctx.rank() == 1) throw Boom{};
+                              });
+                   }),
+      Boom);
+}
+
+TEST(FailureInjection, FirstExceptionWins) {
+  // Several ranks throw different exceptions; exactly one surfaces and the
+  // run terminates (which one is scheduling-dependent, but it must be one
+  // of the injected types).
+  try {
+    cid::rt::run(4, MachineModel::zero(), [](RankCtx& ctx) {
+      if (ctx.rank() % 2 == 0) throw Boom{};
+      throw std::logic_error("other failure");
+    });
+    FAIL() << "run() must rethrow";
+  } catch (const Boom&) {
+    SUCCEED();
+  } catch (const std::logic_error&) {
+    SUCCEED();
+  }
+}
+
+TEST(FailureInjection, WorldIsCleanAfterFailure) {
+  EXPECT_THROW(cid::rt::run(3, MachineModel::zero(),
+                            [](RankCtx& ctx) {
+                              if (ctx.rank() == 0) throw Boom{};
+                              ctx.barrier();
+                            }),
+               Boom);
+  // A fresh run right after the failure works normally.
+  cid::rt::run(3, MachineModel::zero(), [](RankCtx& ctx) {
+    double out[2] = {ctx.rank() + 0.5, ctx.rank() + 1.5};
+    double in[2] = {};
+    comm_p2p(Clauses()
+                 .sender("(rank-1+nprocs)%nprocs")
+                 .receiver("(rank+1)%nprocs")
+                 .sbuf(buf(out))
+                 .rbuf(buf(in)));
+    const int prev = (ctx.rank() - 1 + ctx.nranks()) % ctx.nranks();
+    EXPECT_DOUBLE_EQ(in[0], prev + 0.5);
+  });
+}
+
+TEST(FailureInjection, CidErrorFromClauseValidationPropagates) {
+  try {
+    cid::rt::run(2, MachineModel::zero(), [](RankCtx&) {
+      double a[2] = {}, b[2] = {};
+      // Missing sender/receiver: InvalidClause from every rank.
+      comm_p2p(Clauses().sbuf(buf(a)).rbuf(buf(b)));
+    });
+    FAIL() << "must throw";
+  } catch (const cid::CidError& error) {
+    EXPECT_EQ(error.code(), cid::ErrorCode::InvalidClause);
+  }
+}
+
+TEST(FailureInjection, RepeatedFailuresDoNotLeakWorlds) {
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_THROW(cid::rt::run(4, MachineModel::zero(),
+                              [i](RankCtx& ctx) {
+                                if (ctx.rank() == i % 4) throw Boom{};
+                                ctx.barrier();
+                              }),
+                 Boom);
+  }
+  // Still functional.
+  auto result = cid::rt::run(4, MachineModel::zero(),
+                             [](RankCtx& ctx) { ctx.barrier(); });
+  EXPECT_EQ(result.final_clocks.size(), 4u);
+}
+
+}  // namespace

@@ -1,0 +1,234 @@
+// Tests for the SPMD runtime: launch, rank identity, virtual clocks,
+// max-reducing barrier, mailboxes, failure poisoning.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "rt/runtime.hpp"
+
+namespace {
+
+using cid::rt::RankCtx;
+using cid::simnet::MachineModel;
+
+TEST(Runtime, RunsEveryRankExactlyOnce) {
+  std::atomic<int> visits{0};
+  std::array<std::atomic<int>, 8> per_rank{};
+  cid::rt::run(8, MachineModel::zero(), [&](RankCtx& ctx) {
+    visits.fetch_add(1);
+    per_rank[static_cast<std::size_t>(ctx.rank())].fetch_add(1);
+    EXPECT_EQ(ctx.nranks(), 8);
+  });
+  EXPECT_EQ(visits.load(), 8);
+  for (const auto& count : per_rank) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Runtime, SingleRankWorldWorks) {
+  auto result = cid::rt::run(1, MachineModel::zero(),
+                             [](RankCtx& ctx) { ctx.barrier(); });
+  EXPECT_EQ(result.final_clocks.size(), 1u);
+}
+
+TEST(Runtime, RejectsZeroRanks) {
+  EXPECT_THROW(cid::rt::run(0, MachineModel::zero(), [](RankCtx&) {}),
+               cid::CidError);
+}
+
+TEST(Runtime, CurrentCtxOutsideRegionThrows) {
+  EXPECT_THROW(cid::rt::current_ctx(), cid::CidError);
+  EXPECT_FALSE(cid::rt::in_spmd_region());
+}
+
+TEST(Runtime, CurrentCtxInsideRegionMatchesArgument) {
+  cid::rt::run(4, MachineModel::zero(), [](RankCtx& ctx) {
+    EXPECT_TRUE(cid::rt::in_spmd_region());
+    EXPECT_EQ(&cid::rt::current_ctx(), &ctx);
+  });
+}
+
+TEST(Runtime, ChargeComputeAdvancesOnlyLocalClock) {
+  auto result = cid::rt::run(3, MachineModel::zero(), [](RankCtx& ctx) {
+    ctx.charge_compute(static_cast<double>(ctx.rank()) * 1e-3);
+  });
+  EXPECT_DOUBLE_EQ(result.final_clocks[0], 0.0);
+  EXPECT_DOUBLE_EQ(result.final_clocks[1], 1e-3);
+  EXPECT_DOUBLE_EQ(result.final_clocks[2], 2e-3);
+  EXPECT_DOUBLE_EQ(result.makespan(), 2e-3);
+}
+
+TEST(Runtime, BarrierMaxReducesClocks) {
+  MachineModel model = MachineModel::zero();
+  model.barrier_base = 5e-6;
+  auto result = cid::rt::run(4, model, [](RankCtx& ctx) {
+    ctx.charge_compute(static_cast<double>(ctx.rank()) * 1e-3);
+    ctx.barrier();
+  });
+  // Everyone leaves the barrier at max(3ms) + barrier cost.
+  for (double clock : result.final_clocks) {
+    EXPECT_DOUBLE_EQ(clock, 3e-3 + 5e-6);
+  }
+}
+
+TEST(Runtime, RepeatedBarriersStayConsistent) {
+  auto result = cid::rt::run(5, MachineModel::zero(), [](RankCtx& ctx) {
+    for (int i = 0; i < 50; ++i) {
+      ctx.charge_compute(1e-6);
+      ctx.barrier();
+    }
+  });
+  for (double clock : result.final_clocks) {
+    EXPECT_NEAR(clock, 50e-6, 1e-12);
+  }
+}
+
+TEST(Runtime, ExceptionOnOneRankPropagatesAndUnblocksOthers) {
+  EXPECT_THROW(
+      cid::rt::run(4, MachineModel::zero(),
+                   [](RankCtx& ctx) {
+                     if (ctx.rank() == 2) {
+                       throw cid::CidError(cid::ErrorCode::InvalidArgument,
+                                           "boom");
+                     }
+                     ctx.barrier();  // would deadlock without poisoning
+                   }),
+      cid::CidError);
+}
+
+TEST(Runtime, ExceptionWhileWaitingOnMailboxUnblocks) {
+  EXPECT_THROW(cid::rt::run(2, MachineModel::zero(),
+                            [](RankCtx& ctx) {
+                              if (ctx.rank() == 0) {
+                                throw std::runtime_error("fail");
+                              }
+                              // Rank 1 waits forever for a message that will
+                              // never come; poisoning must wake it.
+                              ctx.mailbox().wait_extract(
+                                  [](const cid::rt::Envelope&) {
+                                    return true;
+                                  });
+                            }),
+               std::runtime_error);
+}
+
+TEST(Runtime, NestedRunIsRejected) {
+  EXPECT_THROW(cid::rt::run(1, MachineModel::zero(),
+                            [](RankCtx&) {
+                              cid::rt::run(1, MachineModel::zero(),
+                                           [](RankCtx&) {});
+                            }),
+               cid::CidError);
+}
+
+TEST(Mailbox, DeliversInArrivalOrder) {
+  cid::rt::run(2, MachineModel::zero(), [](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < 5; ++i) {
+        cid::rt::Envelope envelope;
+        envelope.src = 0;
+        envelope.tag = i;
+        ctx.world().mailbox(1).push(std::move(envelope));
+      }
+    } else {
+      for (int i = 0; i < 5; ++i) {
+        auto envelope = ctx.mailbox().wait_extract(
+            [](const cid::rt::Envelope&) { return true; });
+        EXPECT_EQ(envelope.tag, i);
+      }
+    }
+  });
+}
+
+TEST(Mailbox, PredicateSelectsAcrossQueue) {
+  cid::rt::run(2, MachineModel::zero(), [](RankCtx& ctx) {
+    if (ctx.rank() == 0) {
+      for (int tag : {7, 3, 9}) {
+        cid::rt::Envelope envelope;
+        envelope.src = 0;
+        envelope.tag = tag;
+        ctx.world().mailbox(1).push(std::move(envelope));
+      }
+    } else {
+      auto nine = ctx.mailbox().wait_extract(
+          [](const cid::rt::Envelope& e) { return e.tag == 9; });
+      EXPECT_EQ(nine.tag, 9);
+      auto seven = ctx.mailbox().wait_extract(
+          [](const cid::rt::Envelope&) { return true; });
+      EXPECT_EQ(seven.tag, 7);  // arrival order among the rest
+      EXPECT_EQ(ctx.mailbox().size(), 1u);
+    }
+  });
+}
+
+TEST(Mailbox, TryExtractReturnsEmptyWhenNoMatch) {
+  cid::rt::run(1, MachineModel::zero(), [](RankCtx& ctx) {
+    auto result = ctx.mailbox().try_extract(
+        [](const cid::rt::Envelope&) { return true; });
+    EXPECT_FALSE(result.has_value());
+  });
+}
+
+TEST(World, SharedObjectReturnsSameInstance) {
+  cid::rt::run(4, MachineModel::zero(), [](RankCtx& ctx) {
+    auto object = ctx.world().shared_object<std::atomic<int>>("test.counter");
+    object->fetch_add(1);
+    ctx.barrier();
+    EXPECT_EQ(object->load(), 4);
+  });
+}
+
+TEST(World, SharedObjectTypeMismatchThrows) {
+  cid::rt::run(1, MachineModel::zero(), [](RankCtx& ctx) {
+    ctx.world().shared_object<int>("test.key");
+    EXPECT_THROW(ctx.world().shared_object<double>("test.key"),
+                 cid::CidError);
+  });
+}
+
+TEST(World, ManyRanksOversubscribed) {
+  // Far more ranks than cores: everything must still terminate.
+  auto result = cid::rt::run(64, MachineModel::zero(), [](RankCtx& ctx) {
+    ctx.barrier();
+    ctx.charge_compute(1e-6);
+    ctx.barrier();
+  });
+  EXPECT_EQ(result.final_clocks.size(), 64u);
+}
+
+TEST(VirtualClock, AdvanceToNeverMovesBackwards) {
+  cid::simnet::VirtualClock clock;
+  clock.advance(5.0);
+  clock.advance_to(3.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 5.0);
+  clock.advance_to(7.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 7.0);
+}
+
+TEST(VirtualClock, NegativeAdvanceThrows) {
+  cid::simnet::VirtualClock clock;
+  EXPECT_THROW(clock.advance(-1.0), cid::CidError);
+}
+
+TEST(MachineModel, BarrierCostGrowsLogarithmically) {
+  const auto model = MachineModel::cray_xk7_gemini();
+  EXPECT_LT(model.barrier_cost(2), model.barrier_cost(64));
+  EXPECT_LT(model.barrier_cost(64), model.barrier_cost(1024));
+  // log2 growth: doubling ranks adds one stage.
+  const double d1 = model.barrier_cost(8) - model.barrier_cost(4);
+  const double d2 = model.barrier_cost(16) - model.barrier_cost(8);
+  EXPECT_DOUBLE_EQ(d1, d2);
+}
+
+TEST(MachineModel, DeliveryTimeScalesWithSize) {
+  const auto model = MachineModel::cray_xk7_gemini();
+  const auto& path = model.mpi_two_sided;
+  const double small = path.delivery_time(0.0, 8);
+  const double large = path.delivery_time(0.0, 1 << 20);
+  EXPECT_LT(small, large);
+  EXPECT_NEAR(large - small,
+              (static_cast<double>((1 << 20) - 8)) / path.bytes_per_second +
+                  path.rendezvous_extra_latency,
+              1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// Tests for the communication-statistics layer: every directive execution
+// and its lowering events are countable, per rank, per target.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/core.hpp"
+#include "rt/runtime.hpp"
+#include "shmem/shmem.hpp"
+
+namespace {
+
+using namespace cid::core;
+using cid::rt::RankCtx;
+using cid::simnet::MachineModel;
+
+void spmd(int nranks, const cid::rt::RankFn& fn) {
+  cid::rt::run(nranks, MachineModel::zero(), fn);
+}
+
+TEST(Stats, FreshWorldStartsAtZero) {
+  spmd(2, [](RankCtx&) {
+    const CommStats& stats = comm_stats();
+    EXPECT_EQ(stats.p2p_directives, 0u);
+    EXPECT_EQ(stats.total_messages(), 0u);
+    EXPECT_EQ(stats.waitalls, 0u);
+  });
+}
+
+TEST(Stats, CountsP2PMessagesAndBytes) {
+  spmd(2, [](RankCtx& ctx) {
+    double out[8] = {};
+    double in[8] = {};
+    comm_p2p(Clauses()
+                 .sender(0)
+                 .receiver(1)
+                 .sendwhen("rank==0")
+                 .receivewhen("rank==1")
+                 .sbuf(buf(out))
+                 .rbuf(buf(in)));
+    const CommStats& stats = comm_stats();
+    EXPECT_EQ(stats.p2p_directives, 1u);
+    if (ctx.rank() == 0) {
+      EXPECT_EQ(stats.mpi2_messages, 1u);
+      EXPECT_EQ(stats.mpi2_bytes, 8 * sizeof(double));
+    } else {
+      EXPECT_EQ(stats.mpi2_messages, 0u);  // receiver injects nothing
+    }
+    // Standalone directive: one consolidated waitall on every participant.
+    EXPECT_EQ(stats.waitalls, 1u);
+  });
+}
+
+TEST(Stats, RegionConsolidationVisibleInCounters) {
+  spmd(2, [](RankCtx& ctx) {
+    constexpr int kMsgs = 10;
+    std::vector<double> data(3 * kMsgs);
+    comm_parameters(
+        Clauses().sender(0).receiver(1).sendwhen("rank==0")
+            .receivewhen("rank==1").count(3).max_comm_iter(kMsgs),
+        [&](Region& region) {
+          for (int p = 0; p < kMsgs; ++p) {
+            region.p2p(
+                Clauses().sbuf(buf(&data[3 * p])).rbuf(buf(&data[3 * p])));
+          }
+        });
+    const CommStats& stats = comm_stats();
+    EXPECT_EQ(stats.regions, 1u);
+    EXPECT_EQ(stats.p2p_directives, kMsgs);
+    // The headline property: many messages, ONE consolidated sync.
+    EXPECT_EQ(stats.waitalls, 1u);
+    if (ctx.rank() == 0) {
+      EXPECT_EQ(stats.mpi2_messages, static_cast<std::uint64_t>(kMsgs));
+      EXPECT_EQ(stats.requests_retired, static_cast<std::uint64_t>(kMsgs));
+    }
+  });
+}
+
+TEST(Stats, ShmemTargetCountsPuts) {
+  spmd(2, [](RankCtx& ctx) {
+    double* rbuf_sym = cid::shmem::malloc_of<double>(4);
+    double sbuf_local[4] = {};
+    ctx.barrier();
+    comm_p2p(Clauses()
+                 .sender(0)
+                 .receiver(1)
+                 .sendwhen("rank==0")
+                 .receivewhen("rank==1")
+                 .count(4)
+                 .target(Target::Shmem)
+                 .sbuf(buf(sbuf_local))
+                 .rbuf(buf_n(rbuf_sym, 4)));
+    const CommStats& stats = comm_stats();
+    if (ctx.rank() == 0) {
+      EXPECT_EQ(stats.shmem_puts, 1u);
+      EXPECT_EQ(stats.shmem_bytes, 4 * sizeof(double));
+      EXPECT_EQ(stats.shmem_quiets, 1u);
+      EXPECT_EQ(stats.mpi2_messages, 0u);
+    }
+  });
+}
+
+TEST(Stats, ConflictFlushCounted) {
+  spmd(2, [](RankCtx& ctx) {
+    double stage[4] = {};
+    double final_data[4] = {};
+    double source[4] = {1, 2, 3, 4};
+    comm_parameters(Clauses().count(4), [&](Region& region) {
+      region.p2p(Clauses()
+                     .sender(0)
+                     .receiver(1)
+                     .sendwhen("rank==0")
+                     .receivewhen("rank==1")
+                     .sbuf(buf(source))
+                     .rbuf(buf(stage)));
+      region.p2p(Clauses()
+                     .sender(1)
+                     .receiver(0)
+                     .sendwhen("rank==1")
+                     .receivewhen("rank==0")
+                     .sbuf(buf(stage))
+                     .rbuf(buf(final_data)));
+    });
+    // The RAW dependence on `stage` forces an intermediate sync on the
+    // ranks that touch it on both sides.
+    if (ctx.rank() == 1) {
+      EXPECT_GE(comm_stats().conflict_flushes, 1u);
+    }
+  });
+}
+
+TEST(Stats, DeferredSyncCounted) {
+  spmd(2, [](RankCtx&) {
+    double a[2] = {}, b[2] = {};
+    comm_parameters(
+        Clauses().sender(0).receiver(1).sendwhen("rank==0")
+            .receivewhen("rank==1")
+            .place_sync(SyncPlacement::BeginNextParamRegion),
+        [&](Region& region) {
+          region.p2p(Clauses().sbuf(buf(a)).rbuf(buf(b)));
+        });
+    EXPECT_EQ(comm_stats().deferred_syncs, 1u);
+    comm_flush();
+  });
+}
+
+TEST(Stats, CollectiveDirectiveCounted) {
+  spmd(4, [](RankCtx&) {
+    double s[4] = {}, r[4] = {};
+    comm_collective(Clauses()
+                        .pattern(Pattern::AllToAll)
+                        .count(1)
+                        .sbuf(buf(s))
+                        .rbuf(buf(r)));
+    EXPECT_EQ(comm_stats().collective_directives, 1u);
+  });
+}
+
+TEST(Stats, ResetClearsCounters) {
+  spmd(2, [](RankCtx&) {
+    double a[2] = {}, b[2] = {};
+    comm_p2p(Clauses()
+                 .sender(0)
+                 .receiver(1)
+                 .sendwhen("rank==0")
+                 .receivewhen("rank==1")
+                 .sbuf(buf(a))
+                 .rbuf(buf(b)));
+    EXPECT_GT(comm_stats().p2p_directives, 0u);
+    reset_comm_stats();
+    EXPECT_EQ(comm_stats().p2p_directives, 0u);
+    EXPECT_EQ(comm_stats().total_bytes(), 0u);
+  });
+}
+
+TEST(Stats, ToStringMentionsAllSections) {
+  CommStats stats;
+  stats.p2p_directives = 3;
+  stats.mpi2_messages = 5;
+  stats.waitalls = 2;
+  stats.datatypes_created = 1;
+  const std::string text = stats.to_string();
+  EXPECT_NE(text.find("directives:"), std::string::npos);
+  EXPECT_NE(text.find("traffic:"), std::string::npos);
+  EXPECT_NE(text.find("sync:"), std::string::npos);
+  EXPECT_NE(text.find("datatypes:"), std::string::npos);
+}
+
+}  // namespace
+
+// Composite fixture for the datatype cache counter test (reflection must be
+// at namespace scope).
+struct StatsProbeStruct {
+  int a;
+  double b;
+};
+CID_REFLECT_STRUCT(StatsProbeStruct, a, b)
+
+namespace {
+
+TEST(Stats, DatatypeCreationAndCacheHits) {
+  spmd(2, [](RankCtx& ctx) {
+    StatsProbeStruct data{1, 2.0};
+    for (int i = 0; i < 3; ++i) {
+      comm_p2p(Clauses()
+                   .sender(0)
+                   .receiver(1)
+                   .sendwhen("rank==0")
+                   .receivewhen("rank==1")
+                   .count(1)
+                   .sbuf(buf(data))
+                   .rbuf(buf(data)));
+    }
+    const CommStats& stats = comm_stats();
+    if (ctx.rank() == 0 || ctx.rank() == 1) {
+      EXPECT_EQ(stats.datatypes_created, 1u);  // created once...
+      EXPECT_EQ(stats.datatype_cache_hits, 2u);  // ...reused per scope
+    }
+  });
+}
+
+}  // namespace

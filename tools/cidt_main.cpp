@@ -1,0 +1,118 @@
+// cidt — the communication-intent directive translator CLI.
+//
+// Usage:
+//   cidt [options] input.cpp
+//     -o <file>          write output here (default: stdout)
+//     --target <name>    default target for directives without a target
+//                        clause: mpi2side (default) | mpi1side | shmem
+//     --comm <expr>      communicator expression for generated MPI calls
+//     --no-annotate      suppress explanatory comments
+//     --summary          print a translation summary to stderr
+//     --check            validate the directives only (no output); exit 0
+//                        when every directive is well-formed
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "translate/translator.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [-o out.cpp] [--check] [--target mpi2side|mpi1side|shmem] "
+               "[--comm <expr>] [--no-annotate] [--summary] input.cpp\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input_path;
+  std::string output_path;
+  bool print_summary = false;
+  bool check_only = false;
+  cid::translate::Options options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" && i + 1 < argc) {
+      output_path = argv[++i];
+    } else if (arg == "--target" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "mpi2side") {
+        options.default_target = cid::core::Target::Mpi2Side;
+      } else if (name == "mpi1side") {
+        options.default_target = cid::core::Target::Mpi1Side;
+      } else if (name == "shmem") {
+        options.default_target = cid::core::Target::Shmem;
+      } else {
+        std::fprintf(stderr, "cidt: unknown target '%s'\n", name.c_str());
+        return usage(argv[0]);
+      }
+    } else if (arg == "--comm" && i + 1 < argc) {
+      options.comm_expr = argv[++i];
+    } else if (arg == "--no-annotate") {
+      options.annotate = false;
+    } else if (arg == "--summary") {
+      print_summary = true;
+    } else if (arg == "--check") {
+      check_only = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "cidt: unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else if (input_path.empty()) {
+      input_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (input_path.empty()) return usage(argv[0]);
+
+  std::ifstream in(input_path);
+  if (!in) {
+    std::fprintf(stderr, "cidt: cannot read '%s'\n", input_path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  auto result = cid::translate::translate_source(buffer.str(), options);
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "cidt: %s\n", result.status().to_string().c_str());
+    return 1;
+  }
+
+  if (check_only) {
+    const auto& summary = result.value().summary;
+    std::fprintf(stderr,
+                 "cidt: OK — %d comm_p2p directive(s), %d comm_parameters "
+                 "region(s)\n",
+                 summary.p2p_directives, summary.parameter_regions);
+    return 0;
+  }
+
+  if (output_path.empty()) {
+    std::fputs(result.value().source.c_str(), stdout);
+  } else {
+    std::ofstream out(output_path);
+    if (!out) {
+      std::fprintf(stderr, "cidt: cannot write '%s'\n", output_path.c_str());
+      return 1;
+    }
+    out << result.value().source;
+  }
+
+  if (print_summary) {
+    const auto& summary = result.value().summary;
+    std::fprintf(stderr,
+                 "cidt: %d comm_p2p directive(s), %d comm_parameters "
+                 "region(s), %d consolidated synchronization(s)\n",
+                 summary.p2p_directives, summary.parameter_regions,
+                 summary.consolidated_syncs);
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_datatype.dir/ablation_datatype.cpp.o"
+  "CMakeFiles/ablation_datatype.dir/ablation_datatype.cpp.o.d"
+  "ablation_datatype"
+  "ablation_datatype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_datatype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_msgsize.dir/ablation_msgsize.cpp.o"
+  "CMakeFiles/ablation_msgsize.dir/ablation_msgsize.cpp.o.d"
+  "ablation_msgsize"
+  "ablation_msgsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_msgsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

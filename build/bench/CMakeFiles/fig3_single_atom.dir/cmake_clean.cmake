@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_single_atom.dir/fig3_single_atom.cpp.o"
+  "CMakeFiles/fig3_single_atom.dir/fig3_single_atom.cpp.o.d"
+  "fig3_single_atom"
+  "fig3_single_atom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_single_atom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

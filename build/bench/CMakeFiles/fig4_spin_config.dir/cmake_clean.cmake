@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_spin_config.dir/fig4_spin_config.cpp.o"
+  "CMakeFiles/fig4_spin_config.dir/fig4_spin_config.cpp.o.d"
+  "fig4_spin_config"
+  "fig4_spin_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_spin_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_spin_config.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_demo.dir/collective_demo.cpp.o"
+  "CMakeFiles/collective_demo.dir/collective_demo.cpp.o.d"
+  "collective_demo"
+  "collective_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evenodd_groups.dir/evenodd_groups.cpp.o"
+  "CMakeFiles/evenodd_groups.dir/evenodd_groups.cpp.o.d"
+  "evenodd_groups"
+  "evenodd_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evenodd_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo2d.dir/halo2d.cpp.o"
+  "CMakeFiles/halo2d.dir/halo2d.cpp.o.d"
+  "halo2d"
+  "halo2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/translate_demo.cpp" "examples/CMakeFiles/translate_demo.dir/translate_demo.cpp.o" "gcc" "examples/CMakeFiles/translate_demo.dir/translate_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/translate/CMakeFiles/cid_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cid_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/cid_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/cid_shmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/cid_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/cid_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cid_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wllsms_demo.dir/wllsms_demo.cpp.o"
+  "CMakeFiles/wllsms_demo.dir/wllsms_demo.cpp.o.d"
+  "wllsms_demo"
+  "wllsms_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wllsms_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

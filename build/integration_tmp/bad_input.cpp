@@ -1,0 +1,2 @@
+#pragma comm_p2p bogus(1)
+{ }

@@ -1,0 +1,32 @@
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+#include "mpi/mpi.hpp"
+#include "rt/runtime.hpp"
+#include "shmem/shmem.hpp"
+#include "translate/runtime.hpp"
+
+int main() {
+  auto result = cid::rt::run(6, [](cid::rt::RankCtx& ctx) {
+    const int rank = ctx.rank();
+    const int nprocs = ctx.nranks();
+    int prev = (rank - 1 + nprocs) % nprocs;
+    int next = (rank + 1) % nprocs;
+    double buf1[4];
+    double buf2[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i) buf1[i] = rank * 10.0 + i;
+
+#pragma comm_p2p sender(prev) receiver(next) sbuf(buf1) rbuf(buf2)
+    { }
+
+    for (int i = 0; i < 4; ++i) {
+      if (buf2[i] != prev * 10.0 + i) {
+        std::fprintf(stderr, "rank %d: BAD DATA\n", rank);
+        std::exit(1);
+      }
+    }
+  });
+  std::printf("RING-OK %.3f\n", result.makespan() * 1e6);
+  return 0;
+}

@@ -1,0 +1,38 @@
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+#include "mpi/mpi.hpp"
+#include "rt/runtime.hpp"
+#include "shmem/shmem.hpp"
+#include "translate/runtime.hpp"
+
+int main() {
+  auto result = cid::rt::run(6, [](cid::rt::RankCtx& ctx) {
+    const int rank = ctx.rank();
+    const int nprocs = ctx.nranks();
+    int prev = (rank - 1 + nprocs) % nprocs;
+    int next = (rank + 1) % nprocs;
+    double buf1[4];
+    double buf2[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i) buf1[i] = rank * 10.0 + i;
+
+{ /* cid-translate: comm_p2p 1 */
+std::vector<::cid::mpi::Request> cid_reqs_1;
+auto cid_comm_1 = ::cid::mpi::Comm::world();
+  cid_reqs_1.push_back(::cid::mpi::irecv(cid_comm_1, ::cid::trt::data_ptr(buf2), static_cast<std::size_t>(::cid::trt::smallest_extent(buf1, buf2)), ::cid::trt::datatype_of_expr(buf2), (prev), 2000));
+  cid_reqs_1.push_back(::cid::mpi::isend(cid_comm_1, ::cid::trt::data_ptr(buf1), static_cast<std::size_t>(::cid::trt::smallest_extent(buf1, buf2)), ::cid::trt::datatype_of_expr(buf1), (next), 2000));
+::cid::mpi::waitall(cid_reqs_1);
+}
+
+
+    for (int i = 0; i < 4; ++i) {
+      if (buf2[i] != prev * 10.0 + i) {
+        std::fprintf(stderr, "rank %d: BAD DATA\n", rank);
+        std::exit(1);
+      }
+    }
+  });
+  std::printf("RING-OK %.3f\n", result.makespan() * 1e6);
+  return 0;
+}

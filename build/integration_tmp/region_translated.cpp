@@ -1,0 +1,46 @@
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+#include "mpi/mpi.hpp"
+#include "rt/runtime.hpp"
+#include "shmem/shmem.hpp"
+#include "translate/runtime.hpp"
+
+int main() {
+  cid::rt::run(4, [](cid::rt::RankCtx& ctx) {
+    const int rank = ctx.rank();
+    const int nprocs = ctx.nranks();
+    (void)nprocs;
+    const int n = 5;
+    double buf1[5];
+    double buf2[5] = {0, 0, 0, 0, 0};
+    for (int p = 0; p < n; ++p) buf1[p] = rank * 2.0 + p;
+
+{ /* cid-translate: comm_parameters region 1 */
+std::vector<::cid::mpi::Request> cid_reqs_1;
+auto cid_comm_1 = ::cid::mpi::Comm::world();
+
+      for (int p = 0; p < n; ++p)
+{ /* cid-translate: comm_p2p 2 */
+if (rank%2==1) {
+  cid_reqs_1.push_back(::cid::mpi::irecv(cid_comm_1, ::cid::trt::data_ptr(&buf2[p]), static_cast<std::size_t>(1), ::cid::trt::datatype_of_expr(&buf2[p]), (rank-1), 2000));
+}
+if (rank%2==0) {
+  cid_reqs_1.push_back(::cid::mpi::isend(cid_comm_1, ::cid::trt::data_ptr(&buf1[p]), static_cast<std::size_t>(1), ::cid::trt::datatype_of_expr(&buf1[p]), (rank+1), 2000));
+}
+}
+
+    ::cid::mpi::waitall(cid_reqs_1); /* cid-translate: consolidated synchronization */
+}
+
+
+    if (rank % 2 == 1) {
+      for (int p = 0; p < n; ++p) {
+        if (buf2[p] != (rank - 1) * 2.0 + p) std::exit(1);
+      }
+    }
+  });
+  std::printf("REGION-OK\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+
+#include <cstdio>
+#include <cstdlib>
+#include "rt/runtime.hpp"
+#include "mpi/mpi.hpp"
+#include "shmem/shmem.hpp"
+#include "translate/runtime.hpp"
+
+int main() {
+  auto result = cid::rt::run(4, [](cid::rt::RankCtx& ctx) {
+    const int rank = ctx.rank();
+    const int nprocs = ctx.nranks();
+    int prev = (rank - 1 + nprocs) % nprocs;
+    int next = (rank + 1) % nprocs;
+    double* buf2 = cid::shmem::malloc_of<double>(4);
+    double buf1[4];
+    for (int i = 0; i < 4; ++i) { buf1[i] = rank + i * 0.25; buf2[i] = -1; }
+    ctx.barrier();
+
+{ /* cid-translate: comm_p2p 1 */
+  ::cid::shmem::putmem(::cid::trt::data_ptr(buf2), ::cid::trt::data_ptr(buf1), static_cast<std::size_t>(4) * ::cid::trt::element_size(buf1), (next));
+::cid::shmem::barrier_all();
+}
+
+
+    for (int i = 0; i < 4; ++i) {
+      if (buf2[i] != prev + i * 0.25) std::exit(1);
+    }
+  });
+  std::printf("SHMEM-OK\n");
+  (void)result;
+  return 0;
+}

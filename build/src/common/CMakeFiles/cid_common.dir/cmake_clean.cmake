@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cid_common.dir/error.cpp.o"
+  "CMakeFiles/cid_common.dir/error.cpp.o.d"
+  "CMakeFiles/cid_common.dir/log.cpp.o"
+  "CMakeFiles/cid_common.dir/log.cpp.o.d"
+  "CMakeFiles/cid_common.dir/strings.cpp.o"
+  "CMakeFiles/cid_common.dir/strings.cpp.o.d"
+  "libcid_common.a"
+  "libcid_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cid_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

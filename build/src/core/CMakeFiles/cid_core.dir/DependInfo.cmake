@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clauses.cpp" "src/core/CMakeFiles/cid_core.dir/clauses.cpp.o" "gcc" "src/core/CMakeFiles/cid_core.dir/clauses.cpp.o.d"
+  "/root/repo/src/core/collective.cpp" "src/core/CMakeFiles/cid_core.dir/collective.cpp.o" "gcc" "src/core/CMakeFiles/cid_core.dir/collective.cpp.o.d"
+  "/root/repo/src/core/exec_state.cpp" "src/core/CMakeFiles/cid_core.dir/exec_state.cpp.o" "gcc" "src/core/CMakeFiles/cid_core.dir/exec_state.cpp.o.d"
+  "/root/repo/src/core/expr.cpp" "src/core/CMakeFiles/cid_core.dir/expr.cpp.o" "gcc" "src/core/CMakeFiles/cid_core.dir/expr.cpp.o.d"
+  "/root/repo/src/core/pragma.cpp" "src/core/CMakeFiles/cid_core.dir/pragma.cpp.o" "gcc" "src/core/CMakeFiles/cid_core.dir/pragma.cpp.o.d"
+  "/root/repo/src/core/region.cpp" "src/core/CMakeFiles/cid_core.dir/region.cpp.o" "gcc" "src/core/CMakeFiles/cid_core.dir/region.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/cid_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/cid_core.dir/stats.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/cid_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/cid_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/type_layout.cpp" "src/core/CMakeFiles/cid_core.dir/type_layout.cpp.o" "gcc" "src/core/CMakeFiles/cid_core.dir/type_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/cid_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/cid_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/cid_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/shmem/CMakeFiles/cid_shmem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

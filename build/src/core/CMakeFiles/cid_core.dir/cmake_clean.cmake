@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cid_core.dir/clauses.cpp.o"
+  "CMakeFiles/cid_core.dir/clauses.cpp.o.d"
+  "CMakeFiles/cid_core.dir/collective.cpp.o"
+  "CMakeFiles/cid_core.dir/collective.cpp.o.d"
+  "CMakeFiles/cid_core.dir/exec_state.cpp.o"
+  "CMakeFiles/cid_core.dir/exec_state.cpp.o.d"
+  "CMakeFiles/cid_core.dir/expr.cpp.o"
+  "CMakeFiles/cid_core.dir/expr.cpp.o.d"
+  "CMakeFiles/cid_core.dir/pragma.cpp.o"
+  "CMakeFiles/cid_core.dir/pragma.cpp.o.d"
+  "CMakeFiles/cid_core.dir/region.cpp.o"
+  "CMakeFiles/cid_core.dir/region.cpp.o.d"
+  "CMakeFiles/cid_core.dir/stats.cpp.o"
+  "CMakeFiles/cid_core.dir/stats.cpp.o.d"
+  "CMakeFiles/cid_core.dir/trace.cpp.o"
+  "CMakeFiles/cid_core.dir/trace.cpp.o.d"
+  "CMakeFiles/cid_core.dir/type_layout.cpp.o"
+  "CMakeFiles/cid_core.dir/type_layout.cpp.o.d"
+  "libcid_core.a"
+  "libcid_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cid_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpi/collectives.cpp" "src/mpi/CMakeFiles/cid_mpi.dir/collectives.cpp.o" "gcc" "src/mpi/CMakeFiles/cid_mpi.dir/collectives.cpp.o.d"
+  "/root/repo/src/mpi/comm.cpp" "src/mpi/CMakeFiles/cid_mpi.dir/comm.cpp.o" "gcc" "src/mpi/CMakeFiles/cid_mpi.dir/comm.cpp.o.d"
+  "/root/repo/src/mpi/datatype.cpp" "src/mpi/CMakeFiles/cid_mpi.dir/datatype.cpp.o" "gcc" "src/mpi/CMakeFiles/cid_mpi.dir/datatype.cpp.o.d"
+  "/root/repo/src/mpi/p2p.cpp" "src/mpi/CMakeFiles/cid_mpi.dir/p2p.cpp.o" "gcc" "src/mpi/CMakeFiles/cid_mpi.dir/p2p.cpp.o.d"
+  "/root/repo/src/mpi/pack.cpp" "src/mpi/CMakeFiles/cid_mpi.dir/pack.cpp.o" "gcc" "src/mpi/CMakeFiles/cid_mpi.dir/pack.cpp.o.d"
+  "/root/repo/src/mpi/request.cpp" "src/mpi/CMakeFiles/cid_mpi.dir/request.cpp.o" "gcc" "src/mpi/CMakeFiles/cid_mpi.dir/request.cpp.o.d"
+  "/root/repo/src/mpi/win.cpp" "src/mpi/CMakeFiles/cid_mpi.dir/win.cpp.o" "gcc" "src/mpi/CMakeFiles/cid_mpi.dir/win.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/cid_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/cid_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

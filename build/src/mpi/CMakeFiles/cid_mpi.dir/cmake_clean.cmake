@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cid_mpi.dir/collectives.cpp.o"
+  "CMakeFiles/cid_mpi.dir/collectives.cpp.o.d"
+  "CMakeFiles/cid_mpi.dir/comm.cpp.o"
+  "CMakeFiles/cid_mpi.dir/comm.cpp.o.d"
+  "CMakeFiles/cid_mpi.dir/datatype.cpp.o"
+  "CMakeFiles/cid_mpi.dir/datatype.cpp.o.d"
+  "CMakeFiles/cid_mpi.dir/p2p.cpp.o"
+  "CMakeFiles/cid_mpi.dir/p2p.cpp.o.d"
+  "CMakeFiles/cid_mpi.dir/pack.cpp.o"
+  "CMakeFiles/cid_mpi.dir/pack.cpp.o.d"
+  "CMakeFiles/cid_mpi.dir/request.cpp.o"
+  "CMakeFiles/cid_mpi.dir/request.cpp.o.d"
+  "CMakeFiles/cid_mpi.dir/win.cpp.o"
+  "CMakeFiles/cid_mpi.dir/win.cpp.o.d"
+  "libcid_mpi.a"
+  "libcid_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cid_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

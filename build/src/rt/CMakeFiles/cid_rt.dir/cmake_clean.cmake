@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cid_rt.dir/mailbox.cpp.o"
+  "CMakeFiles/cid_rt.dir/mailbox.cpp.o.d"
+  "CMakeFiles/cid_rt.dir/runtime.cpp.o"
+  "CMakeFiles/cid_rt.dir/runtime.cpp.o.d"
+  "CMakeFiles/cid_rt.dir/world.cpp.o"
+  "CMakeFiles/cid_rt.dir/world.cpp.o.d"
+  "libcid_rt.a"
+  "libcid_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cid_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

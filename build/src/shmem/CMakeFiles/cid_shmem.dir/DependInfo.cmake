@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shmem/heap.cpp" "src/shmem/CMakeFiles/cid_shmem.dir/heap.cpp.o" "gcc" "src/shmem/CMakeFiles/cid_shmem.dir/heap.cpp.o.d"
+  "/root/repo/src/shmem/shmem.cpp" "src/shmem/CMakeFiles/cid_shmem.dir/shmem.cpp.o" "gcc" "src/shmem/CMakeFiles/cid_shmem.dir/shmem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cid_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simnet/CMakeFiles/cid_simnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/cid_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

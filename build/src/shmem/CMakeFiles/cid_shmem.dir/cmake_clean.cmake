@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cid_shmem.dir/heap.cpp.o"
+  "CMakeFiles/cid_shmem.dir/heap.cpp.o.d"
+  "CMakeFiles/cid_shmem.dir/shmem.cpp.o"
+  "CMakeFiles/cid_shmem.dir/shmem.cpp.o.d"
+  "libcid_shmem.a"
+  "libcid_shmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cid_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcid_shmem.a"
+)

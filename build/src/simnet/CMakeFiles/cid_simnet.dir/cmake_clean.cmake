@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cid_simnet.dir/machine_model.cpp.o"
+  "CMakeFiles/cid_simnet.dir/machine_model.cpp.o.d"
+  "libcid_simnet.a"
+  "libcid_simnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cid_simnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cid_translate.dir/translator.cpp.o"
+  "CMakeFiles/cid_translate.dir/translator.cpp.o.d"
+  "libcid_translate.a"
+  "libcid_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cid_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

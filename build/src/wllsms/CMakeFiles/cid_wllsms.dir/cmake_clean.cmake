@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cid_wllsms.dir/atom.cpp.o"
+  "CMakeFiles/cid_wllsms.dir/atom.cpp.o.d"
+  "CMakeFiles/cid_wllsms.dir/comm_directive.cpp.o"
+  "CMakeFiles/cid_wllsms.dir/comm_directive.cpp.o.d"
+  "CMakeFiles/cid_wllsms.dir/comm_original.cpp.o"
+  "CMakeFiles/cid_wllsms.dir/comm_original.cpp.o.d"
+  "CMakeFiles/cid_wllsms.dir/compute.cpp.o"
+  "CMakeFiles/cid_wllsms.dir/compute.cpp.o.d"
+  "CMakeFiles/cid_wllsms.dir/driver.cpp.o"
+  "CMakeFiles/cid_wllsms.dir/driver.cpp.o.d"
+  "libcid_wllsms.a"
+  "libcid_wllsms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cid_wllsms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clauses_test.dir/clauses_test.cpp.o"
+  "CMakeFiles/clauses_test.dir/clauses_test.cpp.o.d"
+  "clauses_test"
+  "clauses_test.pdb"
+  "clauses_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clauses_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wllsms_test.dir/wllsms_test.cpp.o"
+  "CMakeFiles/wllsms_test.dir/wllsms_test.cpp.o.d"
+  "wllsms_test"
+  "wllsms_test.pdb"
+  "wllsms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wllsms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

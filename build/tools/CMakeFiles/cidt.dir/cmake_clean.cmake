@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cidt.dir/cidt_main.cpp.o"
+  "CMakeFiles/cidt.dir/cidt_main.cpp.o.d"
+  "cidt"
+  "cidt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cidt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

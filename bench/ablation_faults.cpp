@@ -1,0 +1,149 @@
+// Ablation A6 - cost of the reliability protocol on a lossy network.
+//
+// Two questions about the reliability(timeout, max_retries) region option:
+//
+//  (a) What does the protocol cost when nothing goes wrong? The reliable
+//      lowering mirrors the plain one's virtual-time charges and offloads
+//      its acks/fins to the NIC, so the overhead at a 0% fault rate must be
+//      within 1% of the unprotected directive (it is exactly 0 in the
+//      model). The bench FAILS (exit 1) if the budget is exceeded.
+//
+//  (b) What does recovery cost? The WL-LSMS setEvec spin scatter (the
+//      paper's Figure 4 phase) runs under seeded FaultPlans dropping 1-10%
+//      of all messages — data and protocol traffic alike — and the sweep
+//      reports the makespan growth next to the retransmit/timeout counters
+//      that produced it.
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/core.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
+#include "rt/runtime.hpp"
+#include "wllsms/driver.hpp"
+
+namespace {
+
+using namespace cid;
+using wllsms::EvecReliability;
+using wllsms::ExperimentConfig;
+using wllsms::Variant;
+
+constexpr EvecReliability kReliability{true, /*timeout_us=*/100,
+                                       /*max_retries=*/10};
+
+/// Reliability counters aggregated over all ranks of one run.
+struct ProtocolTotals {
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t undelivered = 0;
+};
+
+struct ScatterResult {
+  double makespan = 0.0;
+  ProtocolTotals totals;
+  faults::FaultStats fault_stats;
+};
+
+/// The spin scatter, optionally reliable, optionally under a drop plan.
+ScatterResult run_scatter(int nprocs, int wl_steps, bool reliable,
+                          double drop_rate, std::uint64_t seed) {
+  ExperimentConfig config;
+  config.nprocs = nprocs;
+  config.num_lsms = 16;
+  config.natoms = 16;
+  config.wl_steps = wl_steps;
+  if (reliable) config.reliability = kReliability;
+
+  std::shared_ptr<faults::FaultInjector> injector;
+  if (drop_rate > 0.0) {
+    const faults::FaultPlan plan(seed, faults::FaultSpec::drops(drop_rate));
+    injector = std::make_shared<faults::FaultInjector>(plan, nprocs);
+    config.interceptor = injector;
+  }
+
+  ScatterResult result;
+  std::mutex mu;
+  config.per_rank_epilogue = [&](rt::RankCtx&) {
+    const core::CommStats& stats = core::comm_stats();
+    std::lock_guard<std::mutex> lock(mu);
+    result.totals.retransmits += stats.retransmits;
+    result.totals.timeouts += stats.timeouts;
+    result.totals.duplicates_suppressed += stats.duplicates_suppressed;
+    result.totals.undelivered += stats.undelivered_pairs;
+  };
+
+  result.makespan = wllsms::run_spin_scatter(config, Variant::DirectiveMpi);
+  if (injector) result.fault_stats = injector->stats();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::quick_mode(argc, argv);
+  const int wl_steps = quick ? 2 : 8;
+
+  bench::print_header(
+      "A6  reliability protocol under injected message loss",
+      "Part 1: zero-fault overhead of reliability(100us, 10 retries).\n"
+      "Part 2: WL-LSMS spin-scatter recovery cost at 1-10% drop rates.");
+
+  // ---- Part 1: overhead at 0% faults -------------------------------------
+  std::printf("\n-- zero-fault overhead (spin scatter, directive-mpi2side) --\n");
+  bench::print_row({"nprocs", "plain_us", "reliable_us", "overhead"});
+  const std::vector<int> nprocs_sweep =
+      quick ? std::vector<int>{33} : std::vector<int>{33, 65, 129};
+  bool budget_ok = true;
+  for (const int nprocs : nprocs_sweep) {
+    const double plain =
+        run_scatter(nprocs, wl_steps, false, 0.0, 0).makespan;
+    const double reliable =
+        run_scatter(nprocs, wl_steps, true, 0.0, 0).makespan;
+    const double overhead = (reliable - plain) / plain;
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), "%+.4f%%", overhead * 100.0);
+    bench::print_row({std::to_string(nprocs), bench::fmt_us(plain),
+                      bench::fmt_us(reliable), pct});
+    if (overhead > 0.01) budget_ok = false;
+  }
+  if (!budget_ok) {
+    std::printf("  !! zero-fault overhead exceeds the 1%% budget\n");
+    return 1;
+  }
+
+  // ---- Part 2: recovery cost at 1-10% drops -------------------------------
+  std::printf("\n-- recovery cost (nprocs=33, drops on every channel) --\n");
+  bench::print_row({"drop_rate", "makespan_us", "vs_0%", "dropped",
+                    "retransmit", "timeout", "lost"},
+                   12);
+  const double baseline = run_scatter(33, wl_steps, true, 0.0, 0).makespan;
+  const std::vector<double> drop_sweep =
+      quick ? std::vector<double>{0.05}
+            : std::vector<double>{0.01, 0.02, 0.05, 0.10};
+  for (const double rate : drop_sweep) {
+    const ScatterResult r = run_scatter(33, wl_steps, true, rate, 0x5eedULL);
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.2fx", r.makespan / baseline);
+    char rate_cell[32];
+    std::snprintf(rate_cell, sizeof(rate_cell), "%.0f%%", rate * 100.0);
+    bench::print_row({rate_cell, bench::fmt_us(r.makespan), ratio,
+                      std::to_string(r.fault_stats.drops),
+                      std::to_string(r.totals.retransmits),
+                      std::to_string(r.totals.timeouts),
+                      std::to_string(r.totals.undelivered)},
+                     12);
+  }
+
+  std::printf(
+      "\nReading: the protocol is free when the network behaves; at f%%\n"
+      "drops the scatter pays roughly one backoff round per dropped DATA or\n"
+      "ACK, growing the makespan smoothly instead of hanging the phase.\n");
+  return 0;
+}

@@ -97,6 +97,10 @@ Clauses Clauses::merged(const Clauses& region, const Clauses& p2p) {
   if (p2p.receivewhen_.present()) out.receivewhen_ = p2p.receivewhen_;
   if (p2p.count_.present()) out.count_ = p2p.count_;
   if (p2p.max_comm_iter_.present()) out.max_comm_iter_ = p2p.max_comm_iter_;
+  if (p2p.reliability_timeout_us_.present()) {
+    out.reliability_timeout_us_ = p2p.reliability_timeout_us_;
+    out.reliability_max_retries_ = p2p.reliability_max_retries_;
+  }
   if (p2p.target_.has_value()) out.target_ = p2p.target_;
   if (p2p.place_sync_.has_value()) out.place_sync_ = p2p.place_sync_;
   if (p2p.pattern_.has_value()) out.pattern_ = p2p.pattern_;
@@ -119,6 +123,10 @@ Status Clauses::validate_p2p_site() const {
   if (max_comm_iter_.present()) {
     return Status(ErrorCode::InvalidClause,
                   "max_comm_iter may only be used with comm_parameters");
+  }
+  if (reliability_present()) {
+    return Status(ErrorCode::InvalidClause,
+                  "reliability may only be used with comm_parameters");
   }
   return Status::ok();
 }
@@ -198,6 +206,10 @@ Status Clauses::validate_for_collective() const {
   if (place_sync_.has_value() || max_comm_iter_.present()) {
     return Status(ErrorCode::InvalidClause,
                   "place_sync/max_comm_iter do not apply to comm_collective");
+  }
+  if (reliability_present()) {
+    return Status(ErrorCode::InvalidClause,
+                  "reliability does not apply to comm_collective");
   }
   const BufferRef& s = sbuf_.front();
   const BufferRef& r = rbuf_.front();

@@ -101,6 +101,16 @@ class Clauses {
   Clauses& receivewhen(ClauseExpr expr) { receivewhen_ = std::move(expr); return *this; }
   Clauses& count(ClauseExpr expr) { count_ = std::move(expr); return *this; }
   Clauses& max_comm_iter(ClauseExpr expr) { max_comm_iter_ = std::move(expr); return *this; }
+  /// Reliable delivery for the region's MPI-two-sided transfers:
+  /// ack/timeout/retransmit with exponential backoff in virtual time.
+  /// `timeout_us` is the base retransmission timeout in virtual
+  /// microseconds; `max_retries` bounds retransmissions per transfer, after
+  /// which the pair is reported undelivered (see core::delivery_report()).
+  Clauses& reliability(ClauseExpr timeout_us, ClauseExpr max_retries) {
+    reliability_timeout_us_ = std::move(timeout_us);
+    reliability_max_retries_ = std::move(max_retries);
+    return *this;
+  }
   Clauses& target(Target target) { target_ = target; return *this; }
   Clauses& place_sync(SyncPlacement placement) { place_sync_ = placement; return *this; }
   /// Collective-directive clauses (comm_collective only).
@@ -131,6 +141,9 @@ class Clauses {
   const ClauseExpr& receivewhen_clause() const noexcept { return receivewhen_; }
   const ClauseExpr& count_clause() const noexcept { return count_; }
   const ClauseExpr& max_comm_iter_clause() const noexcept { return max_comm_iter_; }
+  const ClauseExpr& reliability_timeout_clause() const noexcept { return reliability_timeout_us_; }
+  const ClauseExpr& reliability_retries_clause() const noexcept { return reliability_max_retries_; }
+  bool reliability_present() const noexcept { return reliability_timeout_us_.present(); }
   const std::optional<Target>& target_clause() const noexcept { return target_; }
   const std::optional<SyncPlacement>& place_sync_clause() const noexcept { return place_sync_; }
   const std::optional<Pattern>& pattern_clause() const noexcept { return pattern_; }
@@ -173,6 +186,8 @@ class Clauses {
   ClauseExpr receivewhen_;
   ClauseExpr count_;
   ClauseExpr max_comm_iter_;
+  ClauseExpr reliability_timeout_us_;
+  ClauseExpr reliability_max_retries_;
   std::optional<Target> target_;
   std::optional<SyncPlacement> place_sync_;
   std::optional<Pattern> pattern_;

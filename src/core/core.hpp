@@ -7,5 +7,6 @@
 #include "core/expr.hpp"         // IWYU pragma: export
 #include "core/pragma.hpp"       // IWYU pragma: export
 #include "core/region.hpp"       // IWYU pragma: export
+#include "core/reliability.hpp"  // IWYU pragma: export
 #include "core/stats.hpp"        // IWYU pragma: export
 #include "core/type_layout.hpp"  // IWYU pragma: export

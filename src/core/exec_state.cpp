@@ -1,5 +1,8 @@
 #include "core/exec_state.hpp"
 
+#include <iterator>
+
+#include "core/reliability.hpp"
 #include "core/trace.hpp"
 #include "shmem/shmem.hpp"
 
@@ -8,6 +11,12 @@ namespace cid::core::detail {
 void PendingOps::merge_from(PendingOps&& other) {
   mpi_requests.insert(mpi_requests.end(), other.mpi_requests.begin(),
                       other.mpi_requests.end());
+  reliable_sends.insert(reliable_sends.end(),
+                        std::make_move_iterator(other.reliable_sends.begin()),
+                        std::make_move_iterator(other.reliable_sends.end()));
+  reliable_recvs.insert(reliable_recvs.end(),
+                        std::make_move_iterator(other.reliable_recvs.begin()),
+                        std::make_move_iterator(other.reliable_recvs.end()));
   shmem_expects.insert(shmem_expects.end(), other.shmem_expects.begin(),
                        other.shmem_expects.end());
   shmem_flag_updates.insert(shmem_flag_updates.end(),
@@ -56,6 +65,9 @@ void ExecState::flush(PendingOps& ops) {
   const bool trace = detail::active_trace_sink() != nullptr && !ops.empty();
   simnet::SimTime trace_begin = 0.0;
   if (trace) trace_begin = rt::current_ctx().clock().now();
+  if (!ops.reliable_sends.empty() || !ops.reliable_recvs.empty()) {
+    run_reliable_epoch(*this, ops);
+  }
   if (!ops.mpi_requests.empty()) {
     ++stats.waitalls;
     stats.requests_retired += ops.mpi_requests.size();

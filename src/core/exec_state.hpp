@@ -9,7 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "core/expr.hpp"
+#include "core/reliability.hpp"
 #include "core/stats.hpp"
 #include "core/type_layout.hpp"
 #include "mpi/mpi.hpp"
@@ -59,9 +61,40 @@ struct ShmemFlagUpdate {
   int dest = -1;
 };
 
+/// A reliable transfer's sender half. The attempt-0 DATA envelope is already
+/// in flight (injected at directive time, mirroring the plain lowering's
+/// costs); the epoch loop waits for the ack and retransmits from `payload`.
+struct ReliableSend {
+  SiteKey site;
+  std::size_t pair_index = 0;
+  int dest = -1;        ///< world rank
+  int transfer_id = 0;  ///< per ordered (src,dst) pair, program order
+  cid::ByteBuffer payload;  ///< gathered wire bytes (retransmission source)
+  simnet::SimTime timeout = 0.0;  ///< base retransmission timeout (seconds)
+  int max_retries = 0;
+  simnet::SimTime sent_at = 0.0;  ///< attempt-0 injection-complete time
+  simnet::SimTime local_complete_at = 0.0;  ///< eager buffer-reuse time
+};
+
+/// A reliable transfer's receiver half; matched in the epoch loop.
+struct ReliableRecv {
+  SiteKey site;
+  std::size_t pair_index = 0;
+  int src = -1;  ///< world rank
+  int transfer_id = 0;
+  void* buf = nullptr;
+  std::size_t count = 0;
+  mpi::Datatype dtype = mpi::Datatype::basic(mpi::BasicType::Byte);
+  simnet::SimTime timeout = 0.0;
+  int max_retries = 0;
+  simnet::SimTime posted_at = 0.0;
+};
+
 /// Everything that still needs synchronization.
 struct PendingOps {
   std::vector<mpi::Request> mpi_requests;
+  std::vector<ReliableSend> reliable_sends;
+  std::vector<ReliableRecv> reliable_recvs;
   std::vector<ShmemExpect> shmem_expects;
   std::vector<ShmemFlagUpdate> shmem_flag_updates;
   bool shmem_quiet_needed = false;
@@ -69,7 +102,8 @@ struct PendingOps {
   std::vector<BufferRange> ranges;
 
   bool empty() const noexcept {
-    return mpi_requests.empty() && shmem_expects.empty() &&
+    return mpi_requests.empty() && reliable_sends.empty() &&
+           reliable_recvs.empty() && shmem_expects.empty() &&
            shmem_flag_updates.empty() && !shmem_quiet_needed &&
            windows_to_fence.empty();
   }
@@ -131,6 +165,26 @@ class ExecState {
 
   /// Rank-local communication statistics (see core/stats.hpp).
   CommStats stats;
+
+  /// Per-peer monotonic transfer ids for the reliability protocol. SPMD
+  /// discipline makes the two sides of each ordered (src,dst) pair agree:
+  /// the sender's tx counter for dst and the receiver's rx counter for src
+  /// advance at the same program points.
+  std::map<int, int> reliable_tx_ids;  ///< dest world rank -> next id
+  std::map<int, int> reliable_rx_ids;  ///< src world rank -> next id
+  /// Per-site persistent-slot accounting for the reliable lowering, which
+  /// has no real request objects. Mirrors ChannelSlots exactly: one slot per
+  /// p2p execution per site between flushes, one-time setup charged when the
+  /// site's table grows, usage reset at the epoch (the flush equivalent).
+  struct ReliableSlotUse {
+    std::size_t send_slots = 0;  ///< slots created (setup charged) so far
+    std::size_t recv_slots = 0;
+    std::size_t send_used = 0;  ///< slots consumed since the last epoch
+    std::size_t recv_used = 0;
+  };
+  std::map<SiteKey, ReliableSlotUse> reliable_slots;
+  /// Pairs the reliability protocol gave up on (see core::delivery_report()).
+  DeliveryReport delivery_report;
 
   std::map<SiteKey, ShmemSiteState> shmem_sites;
   std::map<SiteKey, ChannelSlots> channels;

@@ -15,7 +15,7 @@ struct ClauseRule {
   std::size_t max_args;
 };
 
-constexpr std::array<ClauseRule, 13> kClauseRules = {{
+constexpr std::array<ClauseRule, 14> kClauseRules = {{
     {"sender", 1, 1},
     {"receiver", 1, 1},
     {"sbuf", 1, SIZE_MAX},
@@ -26,6 +26,7 @@ constexpr std::array<ClauseRule, 13> kClauseRules = {{
     {"count", 1, 1},
     {"place_sync", 1, 1},
     {"max_comm_iter", 1, 1},
+    {"reliability", 2, 2},
     // comm_collective extension (paper Section V future work):
     {"pattern", 1, 1},
     {"root", 1, 1},
@@ -163,6 +164,10 @@ Result<ParsedDirective> parse_pragma(std::string_view line) {
       return Status(ErrorCode::InvalidClause,
                     "max_comm_iter may only be used with comm_parameters");
     }
+    if (directive.find("reliability") != nullptr) {
+      return Status(ErrorCode::InvalidClause,
+                    "reliability may only be used with comm_parameters");
+    }
   }
   if (directive.kind != DirectiveKind::CommCollective) {
     for (const char* name : {"pattern", "root", "group"}) {
@@ -175,7 +180,7 @@ Result<ParsedDirective> parse_pragma(std::string_view line) {
   } else {
     for (const char* name :
          {"sender", "receiver", "sendwhen", "receivewhen", "place_sync",
-          "max_comm_iter"}) {
+          "max_comm_iter", "reliability"}) {
       if (directive.find(name) != nullptr) {
         return Status(ErrorCode::InvalidClause,
                       std::string(name) + " does not apply to "
@@ -225,6 +230,13 @@ Result<Clauses> clauses_from_parsed(const ParsedDirective& directive,
       else if (clause.name == "root") out.root(std::move(value));
       else if (clause.name == "group") out.group(std::move(value));
       else out.max_comm_iter(std::move(value));
+    } else if (clause.name == "reliability") {
+      auto timeout = Expr::parse(clause.args[0]);
+      if (!timeout.is_ok()) return timeout.status();
+      auto retries = Expr::parse(clause.args[1]);
+      if (!retries.is_ok()) return retries.status();
+      out.reliability(ClauseExpr(std::move(timeout).take()),
+                      ClauseExpr(std::move(retries).take()));
     } else if (clause.name == "pattern") {
       auto pattern = parse_pattern_keyword(clause.args[0]);
       if (!pattern.is_ok()) return pattern.status();

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include <cstring>
+
 #include "core/exec_state.hpp"
+#include "core/reliability.hpp"
 #include "core/trace.hpp"
 #include "shmem/shmem.hpp"
 
@@ -128,10 +131,137 @@ mpi::Request& acquire_recv_slot(ExecState& state, const SiteKey& site,
   return slots.recv_slots.back();
 }
 
+/// The reliable lowering of an MPI-two-sided pair list. Mirrors the plain
+/// lowering's virtual-time charges exactly (receive posts, gather, injection,
+/// eager/rendezvous completion, persistent-slot setup), so at a 0% fault
+/// rate the protocol costs what the unprotected path costs; the protocol
+/// state itself (acks, retransmission timers) lives in the epoch loop that
+/// runs at the synchronization point (core/reliability.cpp).
+void execute_reliable_mpi2(ExecState& state, rt::RankCtx& ctx,
+                           const Clauses& merged, const Env& env,
+                           const SiteKey& site, std::size_t count,
+                           bool send_active, bool recv_active,
+                           int receiver_rank, int sender_rank,
+                           bool use_persistent) {
+  const auto& costs = ctx.model().mpi_two_sided;
+  const ExprValue timeout_us =
+      eval_clause(merged.reliability_timeout_clause(), env, "reliability");
+  CID_REQUIRE(timeout_us > 0, ErrorCode::InvalidClause,
+              "reliability timeout must be positive (virtual microseconds), "
+              "got " + std::to_string(timeout_us));
+  const ExprValue retries =
+      eval_clause(merged.reliability_retries_clause(), env, "reliability");
+  CID_REQUIRE(retries >= 0, ErrorCode::InvalidClause,
+              "reliability max_retries must be non-negative, got " +
+                  std::to_string(retries));
+  const simnet::SimTime timeout =
+      static_cast<simnet::SimTime>(timeout_us) * 1e-6;
+  const int max_retries = static_cast<int>(retries);
+
+  const auto& sbufs = merged.sbuf_list();
+  const auto& rbufs = merged.rbuf_list();
+  const std::size_t pairs = sbufs.size();
+
+  // Receives first, like the plain lowering (an opportunistic self-message
+  // finds its counterpart posted).
+  if (recv_active) {
+    for (std::size_t i = 0; i < pairs; ++i) {
+      const mpi::Datatype dtype = datatype_for_buffer(state, rbufs[i]);
+      if (use_persistent) {
+        // One slot per p2p execution per site between epochs, exactly like
+        // acquire_recv_slot: setup is charged only when the table grows.
+        auto& slots = state.reliable_slots[site];
+        if (slots.recv_used++ >= slots.recv_slots) {
+          ++slots.recv_slots;
+          ctx.charge_compute(costs.persistent_setup);
+        }
+        ctx.charge_compute(costs.persistent_recv_overhead);
+      } else {
+        ctx.charge_compute(costs.recv_overhead);
+      }
+      ReliableRecv recv;
+      recv.site = site;
+      recv.pair_index = i;
+      recv.src = sender_rank;  // directives run on the world communicator
+      recv.transfer_id = state.reliable_rx_ids[sender_rank]++;
+      recv.buf = rbufs[i].data;
+      recv.count = count;
+      recv.dtype = dtype;
+      recv.timeout = timeout;
+      recv.max_retries = max_retries;
+      recv.posted_at = ctx.clock().now();
+      state.pending.reliable_recvs.push_back(std::move(recv));
+    }
+  }
+  if (send_active) {
+    for (std::size_t i = 0; i < pairs; ++i) {
+      const mpi::Datatype dtype = datatype_for_buffer(state, sbufs[i]);
+      ++state.stats.mpi2_messages;
+      state.stats.mpi2_bytes += count * dtype.payload_size();
+      ++state.stats.reliable_transfers;
+      simnet::SimTime send_overhead = costs.send_overhead;
+      if (use_persistent) {
+        auto& slots = state.reliable_slots[site];
+        if (slots.send_used++ >= slots.send_slots) {
+          ++slots.send_slots;
+          ctx.charge_compute(costs.persistent_setup);
+        }
+        send_overhead = costs.persistent_send_overhead;
+      }
+      if (!dtype.is_contiguous()) {
+        ctx.charge_compute(
+            static_cast<simnet::SimTime>(dtype.payload_size() * count) /
+            ctx.model().host.datatype_pack_bytes_per_second);
+      }
+      cid::ByteBuffer wire = dtype.gather(sbufs[i].data, count);
+      const std::size_t bytes = wire.size();
+      const simnet::SimTime injection_start = ctx.clock().now();
+      ctx.charge_compute(send_overhead + costs.per_message_gap +
+                         static_cast<simnet::SimTime>(bytes) /
+                             costs.injection_bytes_per_second);
+      const simnet::SimTime delivery =
+          std::max(costs.delivery_time(injection_start, bytes),
+                   ctx.clock().now() + costs.latency);
+
+      ReliableSend send;
+      send.site = site;
+      send.pair_index = i;
+      send.dest = receiver_rank;
+      send.transfer_id = state.reliable_tx_ids[receiver_rank]++;
+      send.timeout = timeout;
+      send.max_retries = max_retries;
+      send.sent_at = ctx.clock().now();
+      send.local_complete_at = (bytes > costs.eager_threshold_bytes)
+                                   ? delivery
+                                   : ctx.clock().now();
+
+      // Attempt 0 goes out now, exactly when the plain isend would inject.
+      rt::Envelope envelope;
+      envelope.src = ctx.rank();
+      envelope.tag = send.transfer_id;
+      envelope.channel = rt::Channel::Internal;
+      envelope.context = kReliableDataCtx;
+      envelope.payload.resize(sizeof(std::uint32_t) + bytes);
+      const std::uint32_t attempt0 = 0;
+      std::memcpy(envelope.payload.data(), &attempt0, sizeof(attempt0));
+      std::copy(wire.begin(), wire.end(),
+                envelope.payload.begin() + sizeof(attempt0));
+      envelope.available_at = delivery;
+      ctx.world().deliver(receiver_rank, std::move(envelope));
+
+      send.payload = std::move(wire);
+      state.pending.reliable_sends.push_back(std::move(send));
+    }
+  }
+}
+
 /// Flush only rank-local completions (MPI requests, SHMEM waits/quiet) when
 /// the adjacency analysis finds a buffer conflict. Window fences are
 /// collective and stay deferred to the region end, which every rank reaches.
 void flush_local(ExecState& state, PendingOps& ops) {
+  if (!ops.reliable_sends.empty() || !ops.reliable_recvs.empty()) {
+    run_reliable_epoch(state, ops);
+  }
   if (!ops.mpi_requests.empty()) {
     ++state.stats.waitalls;
     state.stats.requests_retired += ops.mpi_requests.size();
@@ -256,8 +386,20 @@ void execute_p2p(const Clauses& site_clauses, const RegionImpl* region,
       in_region && merged.max_comm_iter_clause().present();
   const mpi::Comm world = mpi::Comm::world();
 
+  if (merged.reliability_present()) {
+    CID_REQUIRE(target == Target::Mpi2Side, ErrorCode::InvalidClause,
+                "reliability requires TARGET_COMM_MPI_2SIDE (got " +
+                    std::string(target_keyword(target)) + ")");
+  }
+
   switch (target) {
     case Target::Mpi2Side: {
+      if (merged.reliability_present()) {
+        execute_reliable_mpi2(state, ctx, merged, env, site, count,
+                              send_active, recv_active, receiver_rank,
+                              sender_rank, use_persistent);
+        break;
+      }
       // Receives are posted before sends so an opportunistic self-message
       // (receiver_rank == rank) matches immediately.
       if (recv_active) {

@@ -1,0 +1,74 @@
+// The reliability(timeout, max_retries) region option: ack/timeout/
+// retransmit with exponential backoff in virtual time for the region's
+// MPI-two-sided transfers.
+//
+// The protocol runs at the region's synchronization point as one combined
+// event loop over every pending reliable send and receive of the calling
+// rank, so sender and receiver roles progress together and cross-rank wait
+// cycles cannot form. Each transfer keeps its own virtual timeline; the rank
+// clock advances once, to the latest timeline, when the epoch ends — which
+// keeps the simulated time deterministic regardless of host scheduling.
+//
+// Loss is observed deterministically: the fault layer replaces a dropped
+// envelope with a payload-less tombstone that still arrives (rt::Envelope::
+// faulted), so a retransmission timer "fires" at
+//   max(loss observation time, attempt injection + timeout * 2^attempt)
+// rather than at a wall-clock-dependent instant. A delayed-but-delivered
+// message therefore never spuriously retransmits.
+//
+// Graceful degradation: after max_retries retransmissions the pair is
+// abandoned, recorded in the rank's DeliveryReport, and the protocol still
+// terminates on both sides (the sender always closes a transfer with a FIN).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cid::core {
+
+/// One sbuf/rbuf pair the reliability protocol gave up on.
+struct LostPair {
+  std::string site;        ///< directive site (file:line)
+  std::size_t pair_index;  ///< which sbuf/rbuf pair of the directive
+  int peer;                ///< the other rank (world rank)
+  int transfer_id;         ///< per-(src,dst) transfer sequence number
+  bool sender_side;        ///< true: this rank was the sender
+  int attempts;            ///< transmissions tried before giving up
+
+  bool operator==(const LostPair&) const = default;
+};
+
+/// Outcome of the calling rank's reliable transfers: empty = everything was
+/// delivered (possibly after retransmissions). Both endpoints of a lost pair
+/// record it, each from its own side.
+struct DeliveryReport {
+  std::vector<LostPair> lost;
+
+  bool all_delivered() const noexcept { return lost.empty(); }
+  std::string to_string() const;
+};
+
+/// The calling rank's report (valid inside an SPMD region).
+const DeliveryReport& delivery_report();
+
+/// Forget previously recorded losses.
+void reset_delivery_report();
+
+namespace detail {
+
+class ExecState;
+struct PendingOps;
+
+/// Internal-channel contexts of the protocol's three message types.
+inline constexpr int kReliableDataCtx = 0x7D01;  ///< [u32 attempt][wire bytes]
+inline constexpr int kReliableCtlCtx = 0x7D02;   ///< [u32 attempt][u8 ack/nack]
+inline constexpr int kReliableFinCtx = 0x7D03;   ///< empty; closes a transfer
+
+/// Run the combined sender/receiver event loop over ops' reliable transfers.
+/// Called from ExecState::flush; clears the reliable lists.
+void run_reliable_epoch(ExecState& state, PendingOps& ops);
+
+}  // namespace detail
+
+}  // namespace cid::core

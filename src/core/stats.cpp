@@ -18,7 +18,11 @@ std::string CommStats::to_string() const {
       << window_fences << " fences, " << conflict_flushes
       << " conflict-forced, " << deferred_syncs << " deferred\n"
       << "datatypes:  " << datatypes_created << " created, "
-      << datatype_cache_hits << " cache hits";
+      << datatype_cache_hits << " cache hits\n"
+      << "reliability: " << reliable_transfers << " transfers, "
+      << retransmits << " retransmits, " << timeouts << " timeouts, "
+      << duplicates_suppressed << " duplicates suppressed, "
+      << undelivered_pairs << " undelivered";
   return out.str();
 }
 

@@ -39,12 +39,21 @@ struct CommStats {
   std::uint64_t datatypes_created = 0;
   std::uint64_t datatype_cache_hits = 0;
 
+  // Reliability protocol (the reliability(timeout, retries) region option).
+  std::uint64_t reliable_transfers = 0;      ///< transfers sent reliably
+  std::uint64_t retransmits = 0;             ///< data re-sends after a loss
+  std::uint64_t timeouts = 0;                ///< virtual-time timer firings
+  std::uint64_t duplicates_suppressed = 0;   ///< redundant copies discarded
+  std::uint64_t undelivered_pairs = 0;       ///< lost after max_retries
+
   std::uint64_t total_messages() const noexcept {
     return mpi2_messages + mpi1_puts + shmem_puts;
   }
   std::uint64_t total_bytes() const noexcept {
     return mpi2_bytes + mpi1_bytes + shmem_bytes;
   }
+
+  bool operator==(const CommStats&) const = default;
 
   /// Multi-line human-readable report.
   std::string to_string() const;

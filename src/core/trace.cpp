@@ -12,6 +12,9 @@ std::string_view trace_event_kind_name(TraceEventKind kind) noexcept {
     case TraceEventKind::CollectiveDirective: return "comm_collective";
     case TraceEventKind::Synchronization: return "sync";
     case TraceEventKind::Overlap: return "overlap";
+    case TraceEventKind::FaultInjected: return "fault";
+    case TraceEventKind::Retransmit: return "retransmit";
+    case TraceEventKind::Timeout: return "timeout";
   }
   return "event";
 }
@@ -47,11 +50,19 @@ void TraceCollector::attach(rt::RankCtx&) {
 std::vector<TraceEvent> TraceCollector::events() const {
   std::lock_guard<std::mutex> lock(sink_->mutex);
   std::vector<TraceEvent> out = sink_->events;
+  // Total order over every serialized field: concurrently recorded events
+  // (e.g. fault events from several sender threads) land in the same place
+  // regardless of wall-clock interleaving, so a deterministic run serializes
+  // to byte-identical JSON.
   std::sort(out.begin(), out.end(),
             [](const TraceEvent& a, const TraceEvent& b) {
               if (a.rank != b.rank) return a.rank < b.rank;
               if (a.begin != b.begin) return a.begin < b.begin;
-              return a.end < b.end;
+              if (a.end != b.end) return a.end < b.end;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.site != b.site) return a.site < b.site;
+              if (a.bytes != b.bytes) return a.bytes < b.bytes;
+              return a.messages < b.messages;
             });
   return out;
 }

@@ -34,6 +34,9 @@ enum class TraceEventKind : std::uint8_t {
   CollectiveDirective, ///< one comm_collective execution (span)
   Synchronization,     ///< a flush: waitall / shmem waits / fences (span)
   Overlap,             ///< the user's overlapped computation block (span)
+  FaultInjected,       ///< the fault layer dropped/delayed/duplicated/stalled
+  Retransmit,          ///< reliability layer re-sent a transfer attempt
+  Timeout,             ///< a virtual-time retransmission/receive timer fired
 };
 
 std::string_view trace_event_kind_name(TraceEventKind kind) noexcept;

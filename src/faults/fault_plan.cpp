@@ -1,0 +1,64 @@
+#include "faults/fault_plan.hpp"
+
+#include "common/rng.hpp"
+
+namespace cid::faults {
+
+namespace {
+
+/// splitmix64 finalizer step, folding `value` into the running hash.
+std::uint64_t mix(std::uint64_t h, std::uint64_t value) noexcept {
+  h += 0x9e3779b97f4a7c15ULL * (value + 1);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::None: return "none";
+    case FaultKind::Drop: return "drop";
+    case FaultKind::Duplicate: return "duplicate";
+    case FaultKind::Delay: return "delay";
+    case FaultKind::Stall: return "stall";
+  }
+  return "unknown";
+}
+
+FaultPlan::FaultPlan(std::uint64_t seed, const FaultSpec& spec)
+    : seed_(seed), spec_(spec) {
+  CID_REQUIRE(spec.drop_rate >= 0.0 && spec.duplicate_rate >= 0.0 &&
+                  spec.delay_rate >= 0.0 && spec.stall_rate >= 0.0,
+              ErrorCode::InvalidArgument, "fault rates must be non-negative");
+  CID_REQUIRE(spec.total_rate() <= 1.0, ErrorCode::InvalidArgument,
+              "fault rates must sum to at most 1");
+  CID_REQUIRE(spec.delay >= 0.0 && spec.duplicate_delay >= 0.0 &&
+                  spec.stall >= 0.0,
+              ErrorCode::InvalidArgument,
+              "fault durations must be non-negative");
+}
+
+FaultKind FaultPlan::decide(int src, int dst, std::uint64_t salt) const {
+  if (!active()) return FaultKind::None;
+  // One fresh, independent draw per message: the generator is seeded from a
+  // hash of the message identity, so the decision is a pure function with no
+  // cross-thread state.
+  const std::uint64_t key =
+      mix(mix(mix(seed_, static_cast<std::uint64_t>(src)),
+              static_cast<std::uint64_t>(dst)),
+          salt);
+  const double u = Rng(key).next_double();
+  double threshold = spec_.drop_rate;
+  if (u < threshold) return FaultKind::Drop;
+  threshold += spec_.duplicate_rate;
+  if (u < threshold) return FaultKind::Duplicate;
+  threshold += spec_.delay_rate;
+  if (u < threshold) return FaultKind::Delay;
+  threshold += spec_.stall_rate;
+  if (u < threshold) return FaultKind::Stall;
+  return FaultKind::None;
+}
+
+}  // namespace cid::faults

@@ -1,0 +1,76 @@
+// cid::faults — a seeded, deterministic plan of network faults.
+//
+// A FaultPlan is a pure function from (seed, message identity) to a fate:
+// deliver, drop, duplicate, delay, or stall the sender. No mutable state
+// means every run with the same seed makes bit-identical decisions no matter
+// how the OS schedules the rank threads; the decisions land in *virtual*
+// time through the rt::DeliveryInterceptor seam (see injector.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "simnet/machine_model.hpp"
+
+namespace cid::faults {
+
+enum class FaultKind : std::uint8_t {
+  None,       ///< deliver untouched
+  Drop,       ///< payload lost; a tombstone (Envelope::faulted) is delivered
+  Duplicate,  ///< a second clean copy is delivered
+  Delay,      ///< extra transit latency
+  Stall,      ///< the sending rank freezes for a while mid-injection
+};
+
+std::string_view fault_kind_name(FaultKind kind) noexcept;
+
+/// Fault rates and magnitudes. Rates are per message and mutually exclusive
+/// (a message suffers at most one fault); their sum must be <= 1.
+struct FaultSpec {
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double delay_rate = 0.0;
+  double stall_rate = 0.0;
+  simnet::SimTime delay = 20e-6;            ///< added transit time (Delay)
+  simnet::SimTime duplicate_delay = 5e-6;   ///< extra lag of the copy
+  simnet::SimTime stall = 50e-6;            ///< sender freeze (Stall)
+  /// Also fault library-internal traffic (the reliability protocol's
+  /// ack/nack/fin messages travel Channel::Internal). Default on: a lossy
+  /// network does not spare control messages.
+  bool fault_internal = true;
+
+  double total_rate() const noexcept {
+    return drop_rate + duplicate_rate + delay_rate + stall_rate;
+  }
+
+  static FaultSpec drops(double rate) {
+    FaultSpec spec;
+    spec.drop_rate = rate;
+    return spec;
+  }
+};
+
+class FaultPlan {
+ public:
+  /// The default plan injects nothing.
+  FaultPlan() = default;
+
+  FaultPlan(std::uint64_t seed, const FaultSpec& spec);
+
+  std::uint64_t seed() const noexcept { return seed_; }
+  const FaultSpec& spec() const noexcept { return spec_; }
+  bool active() const noexcept { return spec_.total_rate() > 0.0; }
+
+  /// Deterministic fate of one message on the edge src -> dst. `salt` must
+  /// identify the message instance deterministically (the injector uses a
+  /// per-edge program-order counter for application traffic and a content
+  /// hash for protocol traffic).
+  FaultKind decide(int src, int dst, std::uint64_t salt) const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  FaultSpec spec_;
+};
+
+}  // namespace cid::faults

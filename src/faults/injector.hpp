@@ -1,0 +1,68 @@
+// FaultInjector — installs a FaultPlan at the rt::World delivery seam.
+//
+// Determinism: the injector never consults wall-clock state. Application
+// traffic (MPI point-to-point and everything built on it) is numbered by a
+// per-(src,dst) counter advanced only by the sending rank's thread in
+// program order; library-internal traffic (the reliability protocol's
+// data/ack/fin messages, whose emission order across transfers IS
+// wall-clock-dependent) is keyed by a content hash of (context, tag,
+// payload prefix) instead, which is unique per protocol message. Either way
+// the fate of every message is a pure function of the seed.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "rt/runtime.hpp"
+#include "rt/world.hpp"
+
+namespace cid::faults {
+
+/// Snapshot of what the injector did (counts of decided fates).
+struct FaultStats {
+  std::uint64_t messages = 0;  ///< deliveries observed
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t stalls = 0;
+
+  std::uint64_t faults() const noexcept {
+    return drops + duplicates + delays + stalls;
+  }
+  bool operator==(const FaultStats&) const = default;
+};
+
+class FaultInjector final : public rt::DeliveryInterceptor {
+ public:
+  FaultInjector(const FaultPlan& plan, int nranks);
+
+  rt::DeliveryVerdict on_deliver(const rt::Envelope& envelope,
+                                 int dest_rank) override;
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  FaultStats stats() const;
+
+ private:
+  FaultPlan plan_;
+  int nranks_;
+  /// Program-order message counters, one per ordered (src,dst) edge; row src
+  /// is only ever touched by rank src's thread.
+  std::vector<std::uint64_t> edge_seq_;
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+};
+
+/// Convenience harness: run `fn` as an SPMD region with `plan` installed.
+struct FaultRun {
+  rt::RunResult result;
+  FaultStats stats;
+};
+FaultRun run_with_faults(int nranks, const simnet::MachineModel& model,
+                         const FaultPlan& plan, const rt::RankFn& fn);
+
+}  // namespace cid::faults

@@ -71,7 +71,9 @@ void inject(rt::RankCtx& ctx, RequestImpl& request, const void* buf,
   envelope.context = comm.context();
   envelope.payload = std::move(payload);
   envelope.available_at = delivery;
-  ctx.world().mailbox(comm.world_rank(dest)).push(std::move(envelope));
+  // Through the world's delivery seam so an installed fault interceptor can
+  // drop / delay / duplicate the message.
+  ctx.world().deliver(comm.world_rank(dest), std::move(envelope));
 
   request.complete = true;
   request.active = false;
@@ -170,6 +172,20 @@ RecvStatus wait(Request& request) {
   Engine::mine().wait_complete(ctx, impl);
   finalize(ctx, *impl);
   return impl->status;
+}
+
+bool wait_for(Request& request, simnet::SimTime timeout) {
+  auto& ctx = rt::current_ctx();
+  auto& impl = RequestAccess::impl(request);
+  CID_REQUIRE(impl != nullptr, ErrorCode::InvalidArgument,
+              "wait_for() on invalid Request");
+  CID_REQUIRE(timeout >= 0.0, ErrorCode::InvalidArgument,
+              "wait_for() timeout must be non-negative");
+  ctx.charge_compute(path(ctx).wait_single);
+  const simnet::SimTime deadline = ctx.clock().now() + timeout;
+  if (!Engine::mine().wait_complete_for(ctx, impl, deadline)) return false;
+  finalize(ctx, *impl);
+  return true;
 }
 
 void waitall(std::span<Request> requests) {
@@ -339,6 +355,7 @@ namespace {
 rt::Mailbox::Predicate probe_predicate(const Comm& comm, int source,
                                        int tag) {
   return [&comm, source, tag](const rt::Envelope& e) {
+    if (e.faulted) return false;  // tombstones are invisible to plain MPI
     if (e.channel != rt::Channel::MpiPointToPoint) return false;
     if (e.context != comm.context()) return false;
     if (tag != kAnyTag && e.tag != tag) return false;

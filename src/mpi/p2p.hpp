@@ -35,6 +35,16 @@ RecvStatus recv(const Comm& comm, void* buf, std::size_t capacity,
 /// overhead (the cost the paper's sync-consolidation analysis removes).
 RecvStatus wait(Request& request);
 
+/// Wait with a virtual-time deadline of now + `timeout`. Returns true (and
+/// finalizes the request, like wait()) when the request completed by the
+/// deadline. Returns false — with the clock advanced to the deadline and the
+/// request cancelled — when the message is known lost (a fault-layer
+/// tombstone arrived) or arrived only after the deadline. Deadlines are
+/// event-driven: with no fault layer installed and no matching message ever
+/// sent, this blocks exactly like wait(), because in virtual time the
+/// absence of an event is unobservable.
+bool wait_for(Request& request, simnet::SimTime timeout);
+
 /// MPI_Waitall: one aggregate completion call for all requests.
 void waitall(std::span<Request> requests);
 

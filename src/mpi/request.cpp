@@ -8,9 +8,10 @@ namespace cid::mpi {
 
 namespace {
 
-/// Matching predicate for one posted receive.
-bool envelope_matches(const rt::Envelope& envelope,
-                      const detail::RequestImpl& request) {
+/// Field-level matching for one posted receive, ignoring the fault flag
+/// (used by the timed wait to spot tombstones addressed to a request).
+bool envelope_fields_match(const rt::Envelope& envelope,
+                           const detail::RequestImpl& request) {
   if (envelope.channel != rt::Channel::MpiPointToPoint) return false;
   if (envelope.context != request.comm.context()) return false;
   if (request.match_tag != kAnyTag && envelope.tag != request.match_tag) {
@@ -23,6 +24,15 @@ bool envelope_matches(const rt::Envelope& envelope,
     return false;
   }
   return true;
+}
+
+/// Matching predicate for one posted receive. Tombstones (dropped messages)
+/// never match: plain MPI has no recovery protocol, so a lost message simply
+/// never arrives.
+bool envelope_matches(const rt::Envelope& envelope,
+                      const detail::RequestImpl& request) {
+  if (envelope.faulted) return false;
+  return envelope_fields_match(envelope, request);
 }
 
 }  // namespace
@@ -110,6 +120,42 @@ void Engine::wait_any_progress(rt::RankCtx& ctx) {
     return false;
   });
   progress(ctx);
+}
+
+bool Engine::wait_complete_for(
+    rt::RankCtx& ctx, const std::shared_ptr<detail::RequestImpl>& request,
+    simnet::SimTime deadline) {
+  for (;;) {
+    progress(ctx);
+    if (request->complete) break;
+    // A tombstone addressed to this request means its message was dropped:
+    // the virtual-time timer fires at the deadline.
+    auto tombstone = ctx.mailbox().try_extract([&](const rt::Envelope& e) {
+      return e.faulted && envelope_fields_match(e, *request);
+    });
+    if (tombstone) {
+      posted_.erase(std::remove(posted_.begin(), posted_.end(), request),
+                    posted_.end());
+      request->active = false;
+      ctx.clock().advance_to(deadline);
+      return false;
+    }
+    ctx.mailbox().wait_present([&](const rt::Envelope& envelope) {
+      if (envelope.faulted && envelope_fields_match(envelope, *request)) {
+        return true;
+      }
+      for (const auto& posted : posted_) {
+        if (!posted->complete && envelope_matches(envelope, *posted)) {
+          return true;
+        }
+      }
+      return false;
+    });
+  }
+  if (request->complete_at <= deadline) return true;
+  // The payload landed, but only after the deadline: the timer fired first.
+  ctx.clock().advance_to(deadline);
+  return false;
 }
 
 void Engine::wait_complete(

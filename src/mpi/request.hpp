@@ -113,6 +113,16 @@ class Engine {
   void wait_complete(rt::RankCtx& ctx,
                      const std::shared_ptr<detail::RequestImpl>& request);
 
+  /// Like wait_complete, but with a virtual-time deadline. Returns true when
+  /// the request completed with complete_at <= deadline. Returns false when
+  /// a tombstone for the request's message arrived (the message was dropped
+  /// by the fault layer) or the message arrived only after the deadline; in
+  /// both cases the clock is advanced to the deadline and, if the request
+  /// never completed, it is cancelled (removed from the posted list).
+  bool wait_complete_for(rt::RankCtx& ctx,
+                         const std::shared_ptr<detail::RequestImpl>& request,
+                         simnet::SimTime deadline);
+
   /// Block until a message that can complete at least one posted incomplete
   /// receive is available, then progress. Used by waitany/waitsome.
   void wait_any_progress(rt::RankCtx& ctx);

@@ -28,6 +28,12 @@ struct Envelope {
   simnet::SimTime available_at = 0.0;
   /// Per-destination arrival sequence number (set by the mailbox).
   std::uint64_t seq = 0;
+  /// Set by the fault layer when the payload was lost in transit. A faulted
+  /// envelope is a tombstone: it keeps the matching fields (src/tag/channel/
+  /// context) and the virtual time at which the loss becomes observable, but
+  /// carries no payload. Plain engines never match tombstones; reliability
+  /// protocols use them to detect timeouts deterministically.
+  bool faulted = false;
 };
 
 }  // namespace cid::rt

@@ -36,12 +36,20 @@ simnet::SimTime RunResult::makespan() const noexcept {
 
 RunResult run(int nranks, const simnet::MachineModel& model,
               const RankFn& fn) {
+  return run(nranks, model, fn, RunOptions{});
+}
+
+RunResult run(int nranks, const simnet::MachineModel& model, const RankFn& fn,
+              const RunOptions& options) {
   CID_REQUIRE(nranks > 0, ErrorCode::InvalidArgument,
               "run() requires nranks >= 1");
   CID_REQUIRE(!in_spmd_region(), ErrorCode::RuntimeFault,
               "nested SPMD regions are not supported");
 
   World world(nranks, model);
+  if (options.interceptor != nullptr) {
+    world.set_interceptor(options.interceptor);
+  }
   std::mutex failure_mutex;
   std::exception_ptr first_failure;
 

@@ -50,10 +50,21 @@ struct RunResult {
   simnet::SimTime makespan() const noexcept;
 };
 
+/// Knobs for run() beyond the machine model. The World is constructed inside
+/// run(), so anything that must be installed on it before ranks start (the
+/// fault layer's delivery interceptor, notably) is passed here.
+struct RunOptions {
+  std::shared_ptr<DeliveryInterceptor> interceptor;
+};
+
 /// Execute `fn` on `nranks` ranks over a fresh World. Rethrows the first
 /// rank failure (after poisoning the world so the other ranks unwind).
 RunResult run(int nranks, const simnet::MachineModel& model,
               const RankFn& fn);
+
+/// As above, with extra options (delivery interceptor, ...).
+RunResult run(int nranks, const simnet::MachineModel& model, const RankFn& fn,
+              const RunOptions& options);
 
 /// Convenience overload using the calibrated Cray XK7 model.
 RunResult run(int nranks, const RankFn& fn);

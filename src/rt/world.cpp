@@ -17,6 +17,32 @@ World::World(int nranks, simnet::MachineModel model)
   }
 }
 
+void World::deliver(int dest, Envelope envelope) {
+  CID_REQUIRE(dest >= 0 && dest < nranks_, ErrorCode::InvalidArgument,
+              "deliver destination rank out of range");
+  if (interceptor_ != nullptr) {
+    const DeliveryVerdict verdict = interceptor_->on_deliver(envelope, dest);
+    if (verdict.sender_stall > 0.0 && envelope.src >= 0 &&
+        envelope.src < nranks_) {
+      // The sending rank freezes: its clock advances and the envelope (still
+      // in its NIC) is pushed out correspondingly later.
+      clocks_[envelope.src].advance(verdict.sender_stall);
+      envelope.available_at += verdict.sender_stall;
+    }
+    envelope.available_at += verdict.delay;
+    if (verdict.duplicate) {
+      Envelope copy = envelope;
+      copy.available_at += verdict.duplicate_delay;
+      mailboxes_[dest]->push(std::move(copy));
+    }
+    if (verdict.drop) {
+      envelope.payload.clear();
+      envelope.faulted = true;
+    }
+  }
+  mailboxes_[dest]->push(std::move(envelope));
+}
+
 void World::barrier(int rank, simnet::SimTime cost) {
   check_poisoned();
   std::unique_lock<std::mutex> lock(barrier_.mutex);

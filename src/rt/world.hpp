@@ -19,6 +19,27 @@
 
 namespace cid::rt {
 
+/// What the delivery interceptor decided about one envelope. At most one of
+/// drop/duplicate should be set; delay and sender_stall compose with either.
+struct DeliveryVerdict {
+  bool drop = false;            ///< deliver a payload-less tombstone instead
+  bool duplicate = false;       ///< push a second, clean copy
+  simnet::SimTime delay = 0.0;  ///< extra transit latency for this envelope
+  simnet::SimTime duplicate_delay = 0.0;  ///< extra latency for the copy
+  simnet::SimTime sender_stall = 0.0;     ///< freeze charged to the sender
+};
+
+/// Observes every mailbox delivery in the world. Called on the *sending*
+/// rank's thread, before the envelope is queued, so implementations may keep
+/// per-source state without locking (one writer per source rank) and may
+/// charge the sender's virtual clock. Install via RunOptions / World.
+class DeliveryInterceptor {
+ public:
+  virtual ~DeliveryInterceptor() = default;
+  virtual DeliveryVerdict on_deliver(const Envelope& envelope,
+                                     int dest_rank) = 0;
+};
+
 class World {
  public:
   World(int nranks, simnet::MachineModel model);
@@ -36,6 +57,20 @@ class World {
     CID_REQUIRE(rank >= 0 && rank < nranks_, ErrorCode::InvalidArgument,
                 "clock rank out of range");
     return clocks_[rank];
+  }
+
+  /// The single delivery seam: every envelope headed for a mailbox goes
+  /// through here so an installed interceptor can drop (tombstone), delay,
+  /// duplicate, or stall it. Call from the sending rank's thread.
+  void deliver(int dest, Envelope envelope);
+
+  /// Install (or clear, with nullptr) the delivery interceptor. Not
+  /// thread-safe against concurrent deliveries; install before ranks start.
+  void set_interceptor(std::shared_ptr<DeliveryInterceptor> interceptor) {
+    interceptor_ = std::move(interceptor);
+  }
+  DeliveryInterceptor* interceptor() const noexcept {
+    return interceptor_.get();
   }
 
   /// Max-reducing barrier: all ranks block until everyone arrives, then every
@@ -110,6 +145,7 @@ class World {
 
   int nranks_;
   simnet::MachineModel model_;
+  std::shared_ptr<DeliveryInterceptor> interceptor_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<simnet::VirtualClock> clocks_;
   BarrierState barrier_;

@@ -195,4 +195,31 @@ void wait_until(const std::uint64_t* ivar, Cmp cmp, std::uint64_t value) {
   ctx.clock().advance_to(heap.incoming_max(ctx.rank()));
 }
 
+bool wait_until_for(const std::uint64_t* ivar, Cmp cmp, std::uint64_t value,
+                    simnet::SimTime timeout) {
+  auto& ctx = rt::current_ctx();
+  auto& heap = SymmetricHeap::of_world(ctx);
+  CID_REQUIRE(heap.contains(ctx.rank(), ivar), ErrorCode::InvalidArgument,
+              "wait_until_for flag must live in the symmetric heap");
+  CID_REQUIRE(timeout >= 0.0, ErrorCode::InvalidArgument,
+              "wait_until_for timeout must be non-negative");
+  const simnet::SimTime deadline = ctx.clock().now() + timeout;
+  std::atomic_ref<const std::uint64_t> flag(*ivar);
+  bool satisfied = false;
+  // Event-driven deadline: wake on every incoming put; the timer "fires"
+  // once some delivery carries virtual time past the deadline while the
+  // condition is still false.
+  ctx.world().wait_on_signal(ctx.rank(), [&] {
+    satisfied = compare(flag.load(std::memory_order_acquire), cmp, value);
+    return satisfied || heap.incoming_max(ctx.rank()) > deadline;
+  });
+  ctx.charge_compute(path(ctx).wait_single);
+  if (satisfied) {
+    ctx.clock().advance_to(heap.incoming_max(ctx.rank()));
+    return true;
+  }
+  ctx.clock().advance_to(deadline);
+  return false;
+}
+
 }  // namespace cid::shmem

@@ -91,4 +91,15 @@ enum class Cmp { Eq, Ne, Gt, Ge, Lt, Le };
 /// of the satisfying put.
 void wait_until(const std::uint64_t* ivar, Cmp cmp, std::uint64_t value);
 
+/// wait_until with a virtual-time deadline of now + `timeout`. Returns true
+/// when the condition held (clock advanced past the satisfying put, like
+/// wait_until). Returns false — clock advanced to the deadline — when an
+/// incoming put lands with a delivery time past the deadline while the
+/// condition is still false. Deadlines are event-driven: only incoming
+/// traffic can carry virtual time past the deadline, so with no incoming
+/// puts at all this blocks like wait_until (absence of an event is
+/// unobservable in virtual time).
+bool wait_until_for(const std::uint64_t* ivar, Cmp cmp, std::uint64_t value,
+                    simnet::SimTime timeout);
+
 }  // namespace cid::shmem

@@ -215,6 +215,11 @@ class Translator {
     std::string comm_var;
     bool used_mpi2 = false;
     bool used_shmem = false;
+    /// A reliability clause forces the embedded-API lowering: the ack/
+    /// retransmit protocol is a runtime service, not a call pattern the
+    /// translator can open-code.
+    bool reliable = false;
+    std::string region_var;  ///< the ::cid::core::Region lambda parameter
   };
 
   struct DeferredSync {
@@ -387,6 +392,61 @@ class Translator {
     return options_.annotate ? "/* cid-translate: " + note + " */" : "";
   }
 
+  /// A clause's C expression wrapped as a runtime callable, evaluated in the
+  /// user's scope each time the directive executes (the embedded-API
+  /// equivalent of pasting the expression into generated code).
+  static std::string expr_lambda(const std::string& expr) {
+    return "[&]() -> ::cid::core::ExprValue { return "
+           "static_cast<::cid::core::ExprValue>(" +
+           expr + "); }";
+  }
+
+  /// Rebuild a parsed clause set as a ::cid::core::Clauses builder chain for
+  /// the embedded-API lowering (reliable regions).
+  Result<std::string> clauses_builder(const ParsedDirective& directive) {
+    std::string out = "::cid::core::Clauses()";
+    for (const auto& clause : directive.clauses) {
+      if (clause.name == "sender" || clause.name == "receiver" ||
+          clause.name == "sendwhen" || clause.name == "receivewhen" ||
+          clause.name == "count" || clause.name == "max_comm_iter") {
+        out += "\n    ." + clause.name + "(" + expr_lambda(clause.args[0]) +
+               ")";
+      } else if (clause.name == "reliability") {
+        out += "\n    .reliability(" + expr_lambda(clause.args[0]) + ", " +
+               expr_lambda(clause.args[1]) + ")";
+      } else if (clause.name == "target") {
+        auto target = core::parse_target_keyword(clause.args[0]);
+        if (!target.is_ok()) return target.status();
+        if (target.value() != Target::Mpi2Side) {
+          return Status(ErrorCode::UnsupportedTarget,
+                        "reliability requires TARGET_COMM_MPI_2SIDE");
+        }
+        out += "\n    .target(::cid::core::Target::Mpi2Side)";
+      } else if (clause.name == "place_sync") {
+        auto placement = core::parse_sync_placement_keyword(clause.args[0]);
+        if (!placement.is_ok()) return placement.status();
+        const char* keyword =
+            placement.value() == SyncPlacement::EndParamRegion
+                ? "EndParamRegion"
+                : placement.value() == SyncPlacement::BeginNextParamRegion
+                      ? "BeginNextParamRegion"
+                      : "EndAdjParamRegions";
+        out += "\n    .place_sync(::cid::core::SyncPlacement::" +
+               std::string(keyword) + ")";
+      } else if (clause.name == "sbuf" || clause.name == "rbuf") {
+        for (const auto& arg : clause.args) {
+          out += "\n    ." + clause.name + "(::cid::core::buf(" + arg +
+                 ", \"" + arg + "\"))";
+        }
+      } else {
+        return Status(ErrorCode::InvalidClause,
+                      "clause '" + clause.name +
+                          "' is not supported in a reliability region");
+      }
+    }
+    return out;
+  }
+
   Result<std::string> emit_region(const ParsedDirective& directive,
                                   std::size_t body_begin,
                                   std::size_t body_end,
@@ -402,6 +462,35 @@ class Translator {
     region.target = directive_target(region.clauses);
     region.requests_var = "cid_reqs_" + std::to_string(id);
     region.comm_var = "cid_comm_" + std::to_string(id);
+    region.reliable = region.clauses.find("reliability") != nullptr;
+    region.region_var = "cid_region_" + std::to_string(id);
+
+    if (region.reliable) {
+      ++summary_.reliable_regions;
+      // The reliability protocol (ack/timeout/retransmit, DeliveryReport)
+      // lives in the runtime, so the region is lowered through the embedded
+      // API instead of open-coded message passing; nested comm_p2p
+      // directives become Region::p2p calls on the lambda's Region.
+      auto builder = clauses_builder(region.clauses);
+      if (!builder.is_ok()) return builder.status();
+      auto body = translate_range(body_begin, body_end, &region);
+      if (!body.is_ok()) return body.status();
+      std::string out;
+      out += "{ " + annotate("comm_parameters region " + std::to_string(id) +
+                             " (reliable: runtime-lowered)") + "\n";
+      out += drain_deferred(/*only_begin_next=*/true);
+      out += "::cid::core::comm_parameters(" + std::move(builder).take() +
+             ",\n    [&](::cid::core::Region& " + region.region_var +
+             ") {\n";
+      out += std::move(body).take();
+      out += "}); " +
+             annotate("reliable synchronization: ack/retransmit protocol "
+                      "drains here") +
+             "\n";
+      out += "}\n";
+      ++summary_.consolidated_syncs;
+      return out;
+    }
 
     auto body = translate_range(body_begin, body_end, &region);
     if (!body.is_ok()) return body.status();
@@ -496,6 +585,12 @@ class Translator {
                                       RegionContext* region) {
     ++summary_.p2p_directives;  // counted with the point-to-point directives
     const int id = next_id_++;
+
+    if (region != nullptr && region->reliable) {
+      return Status(ErrorCode::InvalidClause,
+                    "comm_collective inside a reliability region is not "
+                    "supported (reliability covers point-to-point transfers)");
+    }
 
     const ParsedDirective merged =
         region != nullptr ? merge_textual(region->clauses, directive)
@@ -627,6 +722,24 @@ class Translator {
         source_.substr(body_begin, body_end - body_begin));
     const bool has_overlap = !cid::trim(overlap).empty();
     const std::string tag = std::to_string(options_.tag);
+
+    if (region != nullptr && region->reliable) {
+      // Inside a reliable region the runtime executes the directive (and its
+      // retransmission protocol); emit a Region::p2p call with the site's
+      // own clauses — inheritance happens in the runtime, like the paper's
+      // region-scoped assertions.
+      auto builder = clauses_builder(directive);
+      if (!builder.is_ok()) return builder.status();
+      std::string out = annotate("comm_p2p " + std::to_string(id) +
+                                 " (reliable region)") + "\n";
+      out += region->region_var + ".p2p(" + std::move(builder).take();
+      if (has_overlap) {
+        out += ",\n    [&]() { " + annotate("overlapped computation") + "\n" +
+               overlap + "\n}";
+      }
+      out += ");\n";
+      return out;
+    }
 
     std::string out;
     out += "{ " + annotate("comm_p2p " + std::to_string(id)) + "\n";

@@ -38,6 +38,9 @@ struct Summary {
   int p2p_directives = 0;
   int parameter_regions = 0;
   int consolidated_syncs = 0;
+  /// Regions carrying a reliability clause, lowered through the embedded
+  /// runtime API (the protocol is a runtime service, not a call pattern).
+  int reliable_regions = 0;
 };
 
 struct Translation {

@@ -143,7 +143,8 @@ void transfer_atom_directive(int from, int to, const AtomStage& stage,
 void set_evec_directive(const std::vector<int>& members,
                         const std::vector<double>& ev, int num_types,
                         double* local_evec, Target target,
-                        const std::function<void(int type)>& overlap) {
+                        const std::function<void(int type)>& overlap,
+                        const EvecReliability& reliability) {
   CID_REQUIRE(!members.empty(), ErrorCode::InvalidArgument,
               "set_evec_directive needs at least one member");
   const int me = rt::current_ctx().rank();
@@ -164,7 +165,7 @@ void set_evec_directive(const std::vector<int>& members,
   const std::size_t ev_stride = (me == root) ? 3 : 0;
 
   int p = 0;  // loop variable captured by the clause callables (Listing 7)
-  core::comm_parameters(
+  Clauses region_clauses =
       Clauses()
           .sendwhen([&]() -> core::ExprValue {
             return me == root && owner_of(p) != root;
@@ -176,7 +177,14 @@ void set_evec_directive(const std::vector<int>& members,
           .count(3)
           .max_comm_iter(num_types)
           .place_sync(core::SyncPlacement::EndParamRegion)
-          .target(target),
+          .target(target);
+  if (reliability.enabled) {
+    region_clauses.reliability(
+        static_cast<core::ExprValue>(reliability.timeout_us),
+        reliability.max_retries);
+  }
+  core::comm_parameters(
+      region_clauses,
       [&](Region& region) {
         for (p = 0; p < num_types; ++p) {
           region.p2p(

@@ -55,6 +55,16 @@ void unload_stage(const AtomStage& stage, AtomData& atom);
 void transfer_atom_directive(int from, int to, const AtomStage& stage,
                              core::Target target);
 
+/// Optional reliability protocol for the setEvec scatter: when enabled, the
+/// region carries a reliability(timeout_us, max_retries) clause and every
+/// transfer runs the ack/timeout/retransmit protocol (TARGET_COMM_MPI_2SIDE
+/// only). Used by the fault-injection experiments.
+struct EvecReliability {
+  bool enabled = false;
+  long long timeout_us = 0;  ///< initial retransmit timeout, microseconds
+  int max_retries = 0;       ///< retransmissions before giving a pair up
+};
+
 /// Listing 7: scatter the spin configuration within one LIZ.
 /// `members` are the world ranks of the LIZ (members[0] is privileged and
 /// holds `ev`, 3 doubles per type); each other member receives its owned
@@ -64,6 +74,7 @@ void transfer_atom_directive(int from, int to, const AtomStage& stage,
 void set_evec_directive(const std::vector<int>& members,
                         const std::vector<double>& ev, int num_types,
                         double* local_evec, core::Target target,
-                        const std::function<void(int type)>& overlap = {});
+                        const std::function<void(int type)>& overlap = {},
+                        const EvecReliability& reliability = {});
 
 }  // namespace cid::wllsms

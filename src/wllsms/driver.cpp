@@ -79,10 +79,16 @@ double measure(const ExperimentConfig& config,
   CID_REQUIRE((Topology{config.nprocs, config.num_lsms}.valid()),
               ErrorCode::InvalidArgument,
               "nprocs must be 1 + num_lsms * k with k >= 1");
-  auto result = rt::run(config.nprocs, config.model, [&](rt::RankCtx& ctx) {
-    ctx.barrier();
-    phase(ctx);
-  });
+  rt::RunOptions options;
+  options.interceptor = config.interceptor;
+  auto result = rt::run(
+      config.nprocs, config.model,
+      [&](rt::RankCtx& ctx) {
+        ctx.barrier();
+        phase(ctx);
+        if (config.per_rank_epilogue) config.per_rank_epilogue(ctx);
+      },
+      options);
   return result.makespan() - config.model.barrier_cost(config.nprocs);
 }
 
@@ -194,7 +200,8 @@ double run_spin_scatter(const ExperimentConfig& config, Variant variant) {
       if (me == members[0]) {
         ev = make_spins(config.natoms, config.seed, step);
       }
-      set_evec_directive(members, ev, config.natoms, local_evec, target);
+      set_evec_directive(members, ev, config.natoms, local_evec, target, {},
+                         config.reliability);
     }
   });
 }
@@ -244,10 +251,10 @@ double run_spin_with_compute(const ExperimentConfig& config, Variant variant) {
       }
       // Overlapped: the initial energy computation runs inside the
       // directive's overlap block while later transfers are in flight.
-      set_evec_directive(members, ev, config.natoms, local_evec, target,
-                         [&](int type) {
-                           calculate_core_states(ctx, config.compute, type);
-                         });
+      set_evec_directive(
+          members, ev, config.natoms, local_evec, target,
+          [&](int type) { calculate_core_states(ctx, config.compute, type); },
+          config.reliability);
     }
   });
 }

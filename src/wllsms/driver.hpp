@@ -8,11 +8,19 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/clauses.hpp"
 #include "simnet/machine_model.hpp"
+#include "wllsms/comm_directive.hpp"
 #include "wllsms/compute.hpp"
+
+namespace cid::rt {
+class DeliveryInterceptor;
+class RankCtx;
+}  // namespace cid::rt
 
 namespace cid::wllsms {
 
@@ -56,6 +64,19 @@ struct ExperimentConfig {
   std::uint64_t seed = 0x5eed;
   simnet::MachineModel model = simnet::MachineModel::cray_xk7_gemini();
   ComputeModel compute;
+
+  /// Installed on the World before ranks start (the cid::faults injector,
+  /// typically); null runs a fault-free network.
+  std::shared_ptr<rt::DeliveryInterceptor> interceptor;
+
+  /// Reliability protocol for the setEvec scatter of the directive variants
+  /// (TARGET_COMM_MPI_2SIDE only). Disabled by default.
+  EvecReliability reliability;
+
+  /// When set, runs on every rank after the measured phase, still inside the
+  /// SPMD region — the hook for harvesting rank-local state (comm_stats,
+  /// delivery_report) from an experiment.
+  std::function<void(rt::RankCtx&)> per_rank_epilogue;
 };
 
 /// Figure 3 phase: distribute every atom's potentials and electron

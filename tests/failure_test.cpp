@@ -88,6 +88,105 @@ TEST(FailureInjection, ThrowWhilePeersBlockInShmemWait) {
       Boom);
 }
 
+TEST(FailureInjection, ThrowWhilePeersBlockInWinFence) {
+  EXPECT_THROW(
+      cid::rt::run(3, MachineModel::zero(),
+                   [](RankCtx& ctx) {
+                     double base[4] = {};
+                     auto world = mpi::Comm::world();
+                     auto win = mpi::Win::create(world, base, sizeof(base));
+                     win.fence();
+                     if (ctx.rank() == 1) throw Boom{};
+                     double value = 1.25;
+                     if (ctx.rank() == 0) {
+                       win.put(&value, 1,
+                               mpi::Datatype::basic(mpi::BasicType::Double),
+                               /*target_rank=*/2, /*target_disp=*/0);
+                     }
+                     // Collective: blocked peers must unwind, not deadlock.
+                     win.fence();
+                   }),
+      Boom);
+}
+
+TEST(FailureInjection, ThrowWhilePeersBlockInWinCreate) {
+  EXPECT_THROW(
+      cid::rt::run(3, MachineModel::zero(),
+                   [](RankCtx& ctx) {
+                     double base[2] = {};
+                     if (ctx.rank() == 2) throw Boom{};
+                     auto world = mpi::Comm::world();
+                     (void)mpi::Win::create(world, base, sizeof(base));
+                   }),
+      Boom);
+}
+
+TEST(FailureInjection, ThrowWhilePeersBlockInOneSidedDirective) {
+  // The one-sided lowering parks peers in a deferred Win_fence at the region
+  // end; a rank failing mid-region must release them.
+  EXPECT_THROW(
+      cid::rt::run(3, MachineModel::zero(),
+                   [](RankCtx& ctx) {
+                     namespace shmem = cid::shmem;
+                     auto* a = shmem::malloc_of<double>(2);
+                     auto* b = shmem::malloc_of<double>(2);
+                     comm_parameters(
+                         Clauses()
+                             .sender(0)
+                             .receiver(1)
+                             .sendwhen("rank==0")
+                             .receivewhen("rank==1")
+                             .count(2)
+                             .target(Target::Mpi1Side),
+                         [&](Region& region) {
+                           region.p2p(Clauses()
+                                          .sbuf(buf_n(a, 2, "a"))
+                                          .rbuf(buf_n(b, 2, "b")));
+                           if (ctx.rank() == 2) throw Boom{};
+                         });
+                   }),
+      Boom);
+}
+
+TEST(FailureInjection, ThrowWhilePeersBlockInShmemTimedWait) {
+  // The timed variant must also observe the poisoned world, not sit out its
+  // virtual deadline forever.
+  EXPECT_THROW(
+      cid::rt::run(2, MachineModel::zero(),
+                   [](RankCtx& ctx) {
+                     namespace shmem = cid::shmem;
+                     auto* flag = shmem::malloc_of<std::uint64_t>(1);
+                     if (ctx.rank() == 1) throw Boom{};
+                     (void)shmem::wait_until_for(flag, shmem::Cmp::Ge, 1,
+                                                 /*timeout=*/1.0);
+                   }),
+      Boom);
+}
+
+TEST(FailureInjection, ThrowWhilePeersBlockInReliableEpoch) {
+  // The receiver dies before the region: the sender blocks in the
+  // reliability protocol's event loop waiting for an ack that can never
+  // arrive, and must unwind when the world is poisoned.
+  EXPECT_THROW(
+      cid::rt::run(2, MachineModel::zero(),
+                   [](RankCtx& ctx) {
+                     double a[2] = {0.5, 1.5}, b[2] = {};
+                     if (ctx.rank() == 1) throw Boom{};
+                     comm_parameters(
+                         Clauses()
+                             .sender(0)
+                             .receiver(1)
+                             .sendwhen("rank==0")
+                             .receivewhen("rank==1")
+                             .count(2)
+                             .reliability(100, 3),
+                         [&](Region& region) {
+                           region.p2p(Clauses().sbuf(buf(a)).rbuf(buf(b)));
+                         });
+                   }),
+      Boom);
+}
+
 TEST(FailureInjection, ThrowWhilePeersBlockInCollective) {
   EXPECT_THROW(
       cid::rt::run(5, MachineModel::zero(),

@@ -11,11 +11,18 @@
 //    exactly the data the guards select, on every target.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <mutex>
 #include <numeric>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "core/core.hpp"
+#include "core/trace.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
 #include "mpi/mpi.hpp"
 #include "rt/runtime.hpp"
 #include "shmem/shmem.hpp"
@@ -378,5 +385,83 @@ TEST_P(RingSweep, RingHoldsForAllSizesAndCounts) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, RingSweep,
                          ::testing::Values(1, 2, 3, 4, 6, 9, 16, 25));
+
+// ---------------------------------------------------------------------------
+// Fault-injection determinism: the whole point of the cid::faults design is
+// that a seeded FaultPlan makes a faulty run a reproducible artifact. Same
+// seed => byte-identical trace JSON and identical per-rank comm_stats, no
+// matter how the OS schedules the rank threads.
+// ---------------------------------------------------------------------------
+
+struct FaultTraceRun {
+  std::string trace_json;
+  std::map<int, CommStats> stats;
+  cid::faults::FaultStats fault_stats;
+};
+
+/// A reliable ring exchange under a mixed fault plan, traced.
+FaultTraceRun run_faulty_exchange(std::uint64_t seed) {
+  cid::faults::FaultSpec spec;
+  spec.drop_rate = 0.08;
+  spec.duplicate_rate = 0.05;
+  spec.delay_rate = 0.1;
+  const cid::faults::FaultPlan plan(seed, spec);
+
+  TraceCollector trace;
+  FaultTraceRun out;
+  std::mutex mu;
+  auto run = cid::faults::run_with_faults(
+      4, MachineModel::cray_xk7_gemini(), plan, [&](RankCtx& ctx) {
+        trace.attach(ctx);
+        for (int round = 0; round < 4; ++round) {
+          double sbuf_ring[4], rbuf_ring[4] = {};
+          for (int i = 0; i < 4; ++i) {
+            sbuf_ring[i] = ctx.rank() * 10.0 + round + i * 0.25;
+          }
+          comm_parameters(
+              Clauses()
+                  .sender("(rank-1+nprocs)%nprocs")
+                  .receiver("(rank+1)%nprocs")
+                  .count(4)
+                  .reliability(100, 8),
+              [&](Region& region) {
+                region.p2p(
+                    Clauses().sbuf(buf(sbuf_ring)).rbuf(buf(rbuf_ring)));
+              });
+          const int prev = (ctx.rank() + 3) % 4;
+          for (int i = 0; i < 4; ++i) {
+            EXPECT_DOUBLE_EQ(rbuf_ring[i], prev * 10.0 + round + i * 0.25);
+          }
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        out.stats[ctx.rank()] = comm_stats();
+      });
+  out.fault_stats = run.stats;
+  std::ostringstream json;
+  trace.write_chrome_json(json);
+  out.trace_json = json.str();
+  return out;
+}
+
+TEST(FaultDeterminism, SameSeedByteIdenticalTraceAndStats) {
+  const FaultTraceRun a = run_faulty_exchange(0x5eedULL);
+  const FaultTraceRun b = run_faulty_exchange(0x5eedULL);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.stats, b.stats);
+  EXPECT_EQ(a.fault_stats, b.fault_stats);
+  // The plan did interfere (the runs are not trivially fault-free)...
+  EXPECT_GT(a.fault_stats.faults(), 0u);
+  // ...and the protocol recovered: retransmissions happened somewhere.
+  std::uint64_t retransmits = 0;
+  for (const auto& [rank, s] : a.stats) retransmits += s.retransmits;
+  EXPECT_GT(retransmits, 0u);
+}
+
+TEST(FaultDeterminism, DifferentSeedsProduceDifferentFaultPatterns) {
+  const FaultTraceRun a = run_faulty_exchange(1);
+  const FaultTraceRun b = run_faulty_exchange(2);
+  EXPECT_TRUE(a.trace_json != b.trace_json ||
+              !(a.fault_stats == b.fault_stats));
+}
 
 }  // namespace

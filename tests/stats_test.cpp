@@ -184,6 +184,21 @@ TEST(Stats, ToStringMentionsAllSections) {
   EXPECT_NE(text.find("traffic:"), std::string::npos);
   EXPECT_NE(text.find("sync:"), std::string::npos);
   EXPECT_NE(text.find("datatypes:"), std::string::npos);
+  EXPECT_NE(text.find("reliability:"), std::string::npos);
+}
+
+TEST(Stats, ToStringReportsReliabilityCounters) {
+  CommStats stats;
+  stats.reliable_transfers = 4;
+  stats.retransmits = 3;
+  stats.timeouts = 2;
+  stats.duplicates_suppressed = 1;
+  stats.undelivered_pairs = 1;
+  const std::string text = stats.to_string();
+  EXPECT_NE(text.find("3 retransmits"), std::string::npos);
+  EXPECT_NE(text.find("2 timeouts"), std::string::npos);
+  EXPECT_NE(text.find("1 duplicates suppressed"), std::string::npos);
+  EXPECT_NE(text.find("1 undelivered"), std::string::npos);
 }
 
 }  // namespace

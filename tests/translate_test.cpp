@@ -407,4 +407,50 @@ TEST(Translate, MultipleIndependentP2PsShareRegionSync) {
   EXPECT_EQ(waitalls, 1u);
 }
 
+
+TEST(Translate, ReliabilityRegionLowersThroughEmbeddedApi) {
+  auto result = translate_source(R"(
+#pragma comm_parameters sender(rank-1) receiver(rank+1) count(4) reliability(100, 5)
+{
+#pragma comm_p2p sbuf(a) rbuf(b)
+{ }
+}
+)");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const std::string& out = result.value().source;
+  // The protocol lives in the runtime, so the region becomes an embedded-API
+  // call instead of open-coded message passing.
+  EXPECT_TRUE(contains(out, "::cid::core::comm_parameters("));
+  EXPECT_TRUE(contains(out, ".reliability("));
+  EXPECT_TRUE(contains(out, ".p2p("));
+  EXPECT_FALSE(contains(out, "cid::mpi::isend"));
+  EXPECT_FALSE(contains(out, "cid::mpi::waitall"));
+  EXPECT_EQ(result.value().summary.reliable_regions, 1);
+  EXPECT_EQ(result.value().summary.parameter_regions, 1);
+}
+
+TEST(Translate, ReliabilityRejectsNonMpi2SideTargets) {
+  auto result = translate_source(R"(
+#pragma comm_parameters sender(0) receiver(1) count(1) reliability(100, 5) target(TARGET_COMM_SHMEM)
+{
+#pragma comm_p2p sbuf(a) rbuf(b)
+{ }
+}
+)");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_TRUE(contains(result.status().message(), "TARGET_COMM_MPI_2SIDE"));
+}
+
+TEST(Translate, ReliabilityRejectsCollectivesInRegion) {
+  auto result = translate_source(R"(
+#pragma comm_parameters reliability(100, 5)
+{
+#pragma comm_collective pattern(PATTERN_ONE_TO_MANY) root(0) sbuf(a) rbuf(b) count(4)
+{ }
+}
+)");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_TRUE(contains(result.status().message(), "comm_collective"));
+}
+
 }  // namespace

@@ -90,8 +90,9 @@ int main(int argc, char** argv) {
     const auto& summary = result.value().summary;
     std::fprintf(stderr,
                  "cidt: OK — %d comm_p2p directive(s), %d comm_parameters "
-                 "region(s)\n",
-                 summary.p2p_directives, summary.parameter_regions);
+                 "region(s), %d reliable\n",
+                 summary.p2p_directives, summary.parameter_regions,
+                 summary.reliable_regions);
     return 0;
   }
 
@@ -110,9 +111,10 @@ int main(int argc, char** argv) {
     const auto& summary = result.value().summary;
     std::fprintf(stderr,
                  "cidt: %d comm_p2p directive(s), %d comm_parameters "
-                 "region(s), %d consolidated synchronization(s)\n",
+                 "region(s) (%d reliable), %d consolidated "
+                 "synchronization(s)\n",
                  summary.p2p_directives, summary.parameter_regions,
-                 summary.consolidated_syncs);
+                 summary.reliable_regions, summary.consolidated_syncs);
   }
   return 0;
 }

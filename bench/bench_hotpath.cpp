@@ -1,0 +1,356 @@
+// bench_hotpath - WALL-CLOCK throughput of the runtime's hot paths.
+//
+// Unlike the figure/ablation benches (which report deterministic VIRTUAL
+// time from the machine model), this bench times the host: it answers "how
+// many envelopes per second can the mailbox match?" and "how many GB/s can
+// the datatype layer pack?", which is what the ROADMAP's "as fast as the
+// hardware allows" north star is measured against.
+//
+// Workloads:
+//   match_reverse   2 ranks; the receiver extracts N queued messages in
+//                   reverse arrival order (worst case for a linear-scan
+//                   mailbox: O(N^2) predicate calls + a full queue rescan on
+//                   every condvar wakeup; O(N) for an indexed mailbox).
+//   match_forward   2 ranks; N small messages received in arrival order with
+//                   exact (source, tag) - the per-message overhead path
+//                   (allocation, matching, wakeup).
+//   match_wildcard  8 ranks; 7 senders, one receiver draining with
+//                   kAnySource/kAnyTag - the wildcard matching path.
+//   pack_struct     gather+scatter of a 24-field struct-of-doubles datatype
+//                   whose fields are memory-adjacent (coalescible into one
+//                   run) inside a padded extent.
+//   pack_strided    gather+scatter of a genuinely strided struct (holes
+//                   between every field; nothing to coalesce).
+//   pack_api        MPI_Pack/MPI_Unpack round trip through the public pack()
+//                   API (measures the wire-buffer staging path).
+//
+// Emits BENCH_hotpath.json (override with --out FILE). With
+// --baseline FILE, each workload also reports the speedup against the
+// baseline JSON's numbers (same schema), e.g. one captured on the pre-PR
+// tree.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "mpi/mpi.hpp"
+#include "rt/runtime.hpp"
+
+namespace {
+
+using namespace cid;
+using rt::RankCtx;
+using simnet::MachineModel;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct WorkloadResult {
+  std::string name;
+  std::string unit;      ///< what `value` measures (higher is better)
+  double value = 0.0;    ///< throughput
+  double seconds = 0.0;  ///< wall time of the measured section
+  std::uint64_t items = 0;  ///< messages matched / bytes moved
+};
+
+// ---------------------------------------------------------------------------
+// Matching workloads
+// ---------------------------------------------------------------------------
+
+/// Receiver posts exact-match receives for tags N-1 .. 0 while the sender
+/// injected them as 0 .. N-1.
+WorkloadResult match_reverse(int n_messages) {
+  double elapsed = 0.0;
+  rt::run(2, MachineModel::zero(), [&](RankCtx& ctx) {
+    auto world = mpi::Comm::world();
+    double payload = 0.0;
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < n_messages; ++i) {
+        mpi::send(world, &payload, 1, /*dest=*/1, /*tag=*/i);
+      }
+      ctx.barrier();  // messages are all queued before timing starts
+      ctx.barrier();
+    } else {
+      ctx.barrier();
+      const auto start = Clock::now();
+      for (int i = n_messages - 1; i >= 0; --i) {
+        mpi::recv(world, &payload, 1, /*source=*/0, /*tag=*/i);
+      }
+      elapsed = seconds_since(start);
+      ctx.barrier();
+    }
+  });
+  WorkloadResult out;
+  out.name = "match_reverse";
+  out.unit = "envelopes_per_sec";
+  out.items = static_cast<std::uint64_t>(n_messages);
+  out.seconds = elapsed;
+  out.value = static_cast<double>(n_messages) / elapsed;
+  return out;
+}
+
+/// Sender streams N messages; receiver drains them in arrival order with
+/// exact (source, tag) matching, concurrently with the sender.
+WorkloadResult match_forward(int n_messages) {
+  double elapsed = 0.0;
+  rt::run(2, MachineModel::zero(), [&](RankCtx& ctx) {
+    auto world = mpi::Comm::world();
+    double payload = 0.0;
+    ctx.barrier();
+    const auto start = Clock::now();
+    if (ctx.rank() == 0) {
+      for (int i = 0; i < n_messages; ++i) {
+        mpi::send(world, &payload, 1, /*dest=*/1, /*tag=*/i);
+      }
+      ctx.barrier();
+    } else {
+      for (int i = 0; i < n_messages; ++i) {
+        mpi::recv(world, &payload, 1, /*source=*/0, /*tag=*/i);
+      }
+      elapsed = seconds_since(start);
+      ctx.barrier();
+    }
+  });
+  WorkloadResult out;
+  out.name = "match_forward";
+  out.unit = "envelopes_per_sec";
+  out.items = static_cast<std::uint64_t>(n_messages);
+  out.seconds = elapsed;
+  out.value = static_cast<double>(n_messages) / elapsed;
+  return out;
+}
+
+/// 7 senders stream to rank 0, which drains everything with wildcards.
+WorkloadResult match_wildcard(int per_sender) {
+  constexpr int kRanks = 8;
+  const int total = per_sender * (kRanks - 1);
+  double elapsed = 0.0;
+  rt::run(kRanks, MachineModel::zero(), [&](RankCtx& ctx) {
+    auto world = mpi::Comm::world();
+    double payload = 0.0;
+    ctx.barrier();
+    if (ctx.rank() == 0) {
+      const auto start = Clock::now();
+      for (int i = 0; i < total; ++i) {
+        mpi::recv(world, &payload, 1, mpi::kAnySource, mpi::kAnyTag);
+      }
+      elapsed = seconds_since(start);
+    } else {
+      for (int i = 0; i < per_sender; ++i) {
+        mpi::send(world, &payload, 1, /*dest=*/0, /*tag=*/i);
+      }
+    }
+    ctx.barrier();
+  });
+  WorkloadResult out;
+  out.name = "match_wildcard";
+  out.unit = "envelopes_per_sec";
+  out.items = static_cast<std::uint64_t>(total);
+  out.seconds = elapsed;
+  out.value = static_cast<double>(total) / elapsed;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Datatype workloads
+// ---------------------------------------------------------------------------
+
+/// 24 adjacent doubles inside a 200-byte extent (like a struct of scalars
+/// with trailing padding): coalescible into one 192-byte run per element.
+mpi::Datatype make_adjacent_struct() {
+  std::vector<mpi::TypeField> fields;
+  for (std::size_t f = 0; f < 24; ++f) {
+    fields.push_back({f * sizeof(double), 1, mpi::BasicType::Double});
+  }
+  auto result = mpi::Datatype::create_struct(fields, 200);
+  CID_REQUIRE(result.is_ok(), ErrorCode::RuntimeFault,
+              result.status().to_string());
+  auto dtype = std::move(result).take();
+  dtype.commit();
+  return dtype;
+}
+
+/// 12 doubles at stride 16 (a hole after every field): nothing coalesces.
+mpi::Datatype make_strided_struct() {
+  std::vector<mpi::TypeField> fields;
+  for (std::size_t f = 0; f < 12; ++f) {
+    fields.push_back({f * 16, 1, mpi::BasicType::Double});
+  }
+  auto result = mpi::Datatype::create_struct(fields, 192);
+  CID_REQUIRE(result.is_ok(), ErrorCode::RuntimeFault,
+              result.status().to_string());
+  auto dtype = std::move(result).take();
+  dtype.commit();
+  return dtype;
+}
+
+/// gather+scatter round trips; GB/s counts payload bytes moved in each
+/// direction.
+WorkloadResult pack_roundtrip(const char* name, const mpi::Datatype& dtype,
+                              std::size_t count, int iters) {
+  std::vector<std::byte> elements(dtype.extent() * count);
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    elements[i] = static_cast<std::byte>(i * 131u);
+  }
+  const std::uint64_t bytes_per_iter =
+      2ull * dtype.payload_size() * count;  // gather + scatter
+  double checksum = 0.0;
+  const auto start = Clock::now();
+  for (int it = 0; it < iters; ++it) {
+    ByteBuffer wire = dtype.gather(elements.data(), count);
+    const Status status =
+        dtype.scatter(ByteSpan(wire.data(), wire.size()), elements.data(),
+                      count);
+    CID_REQUIRE(status.is_ok(), ErrorCode::RuntimeFault, status.to_string());
+    checksum += static_cast<double>(wire[0]);  // defeat dead-code elimination
+  }
+  const double elapsed = seconds_since(start);
+  if (checksum < 0) std::printf("impossible\n");
+  WorkloadResult out;
+  out.name = name;
+  out.unit = "gb_per_sec";
+  out.items = bytes_per_iter * static_cast<std::uint64_t>(iters);
+  out.seconds = elapsed;
+  out.value = static_cast<double>(out.items) / elapsed / 1e9;
+  return out;
+}
+
+/// MPI_Pack/MPI_Unpack through the public API (runs in a 1-rank world since
+/// pack() charges virtual compute time to the calling rank).
+WorkloadResult pack_api(const mpi::Datatype& dtype, std::size_t count,
+                        int iters) {
+  WorkloadResult out;
+  out.name = "pack_api";
+  out.unit = "gb_per_sec";
+  rt::run(1, MachineModel::zero(), [&](RankCtx&) {
+    auto world = mpi::Comm::world();
+    std::vector<std::byte> elements(dtype.extent() * count);
+    for (std::size_t i = 0; i < elements.size(); ++i) {
+      elements[i] = static_cast<std::byte>(i * 197u);
+    }
+    std::vector<std::byte> wire(mpi::pack_size(count, dtype));
+    const std::uint64_t bytes_per_iter = 2ull * dtype.payload_size() * count;
+    const auto start = Clock::now();
+    for (int it = 0; it < iters; ++it) {
+      std::size_t position = 0;
+      mpi::pack(world, elements.data(), count, dtype,
+                MutableByteSpan(wire.data(), wire.size()), position);
+      position = 0;
+      mpi::unpack(world, ByteSpan(wire.data(), wire.size()), position,
+                  elements.data(), count, dtype);
+    }
+    out.seconds = seconds_since(start);
+    out.items = bytes_per_iter * static_cast<std::uint64_t>(iters);
+    out.value = static_cast<double>(out.items) / out.seconds / 1e9;
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+/// Pull `"value": <number>` for workload `name` out of a baseline JSON
+/// produced by this bench (tiny fixed-schema scan, no JSON library).
+double baseline_value(const std::string& json, const std::string& name) {
+  const auto at = json.find("\"name\": \"" + name + "\"");
+  if (at == std::string::npos) return 0.0;
+  const auto key = json.find("\"value\":", at);
+  if (key == std::string::npos) return 0.0;
+  return std::strtod(json.c_str() + key + 8, nullptr);
+}
+
+void write_json(const std::string& path,
+                const std::vector<WorkloadResult>& results, bool quick,
+                const std::string& baseline_json,
+                const std::string& baseline_path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"hotpath\",\n  \"kind\": \"wall_clock\",\n";
+  out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  if (!baseline_json.empty()) {
+    out << "  \"baseline\": \"" << baseline_path << "\",\n";
+  }
+  out << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    char buffer[512];
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\"name\": \"%s\", \"unit\": \"%s\", \"value\": %.1f, "
+                  "\"seconds\": %.6f, \"items\": %llu",
+                  r.name.c_str(), r.unit.c_str(), r.value, r.seconds,
+                  static_cast<unsigned long long>(r.items));
+    out << buffer;
+    if (!baseline_json.empty()) {
+      const double base = baseline_value(baseline_json, r.name);
+      if (base > 0.0) {
+        std::snprintf(buffer, sizeof(buffer),
+                      ", \"baseline_value\": %.1f, \"speedup\": %.2f", base,
+                      r.value / base);
+        out << buffer;
+      }
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = cid::bench::quick_mode(argc, argv);
+  std::string out_path = "BENCH_hotpath.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
+    if (std::string(argv[i]) == "--baseline") baseline_path = argv[i + 1];
+  }
+  std::string baseline_json;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    baseline_json = buffer.str();
+  }
+
+  const int reverse_n = quick ? 1500 : 6000;
+  const int forward_n = quick ? 30000 : 150000;
+  const int wildcard_n = quick ? 3000 : 15000;
+  const std::size_t pack_count = quick ? 2048 : 4096;
+  const int pack_iters = quick ? 60 : 200;
+
+  cid::bench::print_header(
+      "bench_hotpath - wall-clock hot-path throughput",
+      "envelopes/sec through the mailbox, GB/s through the datatype layer");
+  std::printf("(HOST wall-clock time - machine-dependent, not virtual)\n\n");
+
+  std::vector<WorkloadResult> results;
+  results.push_back(match_reverse(reverse_n));
+  results.push_back(match_forward(forward_n));
+  results.push_back(match_wildcard(wildcard_n));
+  const auto adjacent = make_adjacent_struct();
+  const auto strided = make_strided_struct();
+  results.push_back(
+      pack_roundtrip("pack_struct", adjacent, pack_count, pack_iters));
+  results.push_back(
+      pack_roundtrip("pack_strided", strided, pack_count, pack_iters));
+  results.push_back(pack_api(adjacent, pack_count, pack_iters));
+
+  cid::bench::print_row({"workload", "items", "seconds", "throughput"});
+  for (const auto& r : results) {
+    char value[64];
+    std::snprintf(value, sizeof(value), "%.3g %s", r.value, r.unit.c_str());
+    char secs[32];
+    std::snprintf(secs, sizeof(secs), "%.4f", r.seconds);
+    cid::bench::print_row(
+        {r.name, std::to_string(r.items), secs, value}, 24);
+  }
+  write_json(out_path, results, quick, baseline_json, baseline_path);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

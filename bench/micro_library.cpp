@@ -104,10 +104,12 @@ void BM_MailboxPushExtract(benchmark::State& state) {
     cid::rt::Envelope envelope;
     envelope.src = 0;
     envelope.tag = 7;
-    envelope.payload.resize(24);
+    envelope.payload = cid::rt::Payload(cid::ByteBuffer(24));
     mailbox.push(std::move(envelope));
-    auto out = mailbox.try_extract(
-        [](const cid::rt::Envelope& e) { return e.tag == 7; });
+    cid::rt::MatchKey key;
+    key.src = 0;
+    key.tag = 7;
+    auto out = mailbox.try_extract(key);
     benchmark::DoNotOptimize(out);
   }
 }

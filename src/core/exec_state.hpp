@@ -15,6 +15,7 @@
 #include "core/stats.hpp"
 #include "core/type_layout.hpp"
 #include "mpi/mpi.hpp"
+#include "rt/payload.hpp"
 #include "rt/runtime.hpp"
 
 namespace cid::core::detail {
@@ -69,7 +70,9 @@ struct ReliableSend {
   std::size_t pair_index = 0;
   int dest = -1;        ///< world rank
   int transfer_id = 0;  ///< per ordered (src,dst) pair, program order
-  cid::ByteBuffer payload;  ///< gathered wire bytes (retransmission source)
+  /// Attempt-0 DATA bytes (attempt header + gathered wire), aliasing the
+  /// in-flight envelope's payload; retransmissions re-prefix the wire span.
+  rt::Payload payload;
   simnet::SimTime timeout = 0.0;  ///< base retransmission timeout (seconds)
   int max_retries = 0;
   simnet::SimTime sent_at = 0.0;  ///< attempt-0 injection-complete time

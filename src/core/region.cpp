@@ -213,8 +213,17 @@ void execute_reliable_mpi2(ExecState& state, rt::RankCtx& ctx,
             static_cast<simnet::SimTime>(dtype.payload_size() * count) /
             ctx.model().host.datatype_pack_bytes_per_second);
       }
-      cid::ByteBuffer wire = dtype.gather(sbufs[i].data, count);
-      const std::size_t bytes = wire.size();
+      // Gather the wire bytes directly behind the attempt header; the one
+      // resulting buffer is shared (refcounted) between the in-flight
+      // envelope and the retransmission source — no copies on this path.
+      const std::size_t bytes = dtype.payload_size() * count;
+      cid::ByteBuffer prefixed(sizeof(std::uint32_t) + bytes);
+      const std::uint32_t attempt0 = 0;
+      std::memcpy(prefixed.data(), &attempt0, sizeof(attempt0));
+      dtype.gather_into(
+          cid::MutableByteSpan(prefixed.data() + sizeof(attempt0), bytes),
+          sbufs[i].data, count);
+      const rt::Payload attempt0_payload{std::move(prefixed)};
       const simnet::SimTime injection_start = ctx.clock().now();
       ctx.charge_compute(send_overhead + costs.per_message_gap +
                          static_cast<simnet::SimTime>(bytes) /
@@ -241,15 +250,11 @@ void execute_reliable_mpi2(ExecState& state, rt::RankCtx& ctx,
       envelope.tag = send.transfer_id;
       envelope.channel = rt::Channel::Internal;
       envelope.context = kReliableDataCtx;
-      envelope.payload.resize(sizeof(std::uint32_t) + bytes);
-      const std::uint32_t attempt0 = 0;
-      std::memcpy(envelope.payload.data(), &attempt0, sizeof(attempt0));
-      std::copy(wire.begin(), wire.end(),
-                envelope.payload.begin() + sizeof(attempt0));
+      envelope.payload = attempt0_payload;
       envelope.available_at = delivery;
       ctx.world().deliver(receiver_rank, std::move(envelope));
 
-      send.payload = std::move(wire);
+      send.payload = attempt0_payload;
       state.pending.reliable_sends.push_back(std::move(send));
     }
   }

@@ -10,6 +10,7 @@
 #include "core/exec_state.hpp"
 #include "core/trace.hpp"
 #include "rt/envelope.hpp"
+#include "rt/mailbox.hpp"
 
 namespace cid::core {
 
@@ -41,7 +42,7 @@ constexpr std::uint8_t kCtlAck = 1;
 constexpr std::uint8_t kCtlNack = 2;
 constexpr std::size_t kAttemptHeaderBytes = sizeof(std::uint32_t);
 
-std::uint32_t read_attempt(const cid::ByteBuffer& payload) {
+std::uint32_t read_attempt(cid::ByteSpan payload) {
   std::uint32_t attempt = 0;
   std::memcpy(&attempt, payload.data(), sizeof(attempt));
   return attempt;
@@ -54,8 +55,7 @@ cid::ByteBuffer make_ctl_payload(std::uint32_t attempt, std::uint8_t kind) {
   return payload;
 }
 
-cid::ByteBuffer make_data_payload(std::uint32_t attempt,
-                                  const cid::ByteBuffer& wire) {
+cid::ByteBuffer make_data_payload(std::uint32_t attempt, cid::ByteSpan wire) {
   cid::ByteBuffer payload(kAttemptHeaderBytes + wire.size());
   std::memcpy(payload.data(), &attempt, sizeof(attempt));
   std::copy(wire.begin(), wire.end(), payload.begin() + kAttemptHeaderBytes);
@@ -130,28 +130,33 @@ void run_reliable_epoch(ExecState& state, PendingOps& ops) {
     envelope.tag = tag;
     envelope.channel = rt::Channel::Internal;
     envelope.context = context;
-    envelope.payload = std::move(payload);
+    envelope.payload = rt::Payload(std::move(payload));
     envelope.available_at = when + costs.latency;
     ctx.world().deliver(dest, std::move(envelope));
   };
 
-  // One predicate covering both roles: a ctl message for an open send, or a
+  // One key set covering both roles: a ctl message for an open send, or a
   // data/fin message for an open receive. Waiting on the union is what lets
-  // a rank answer its peers' transfers while blocked on its own.
-  const auto relevant = [&](const rt::Envelope& e) {
-    if (e.channel != rt::Channel::Internal) return false;
-    if (e.context == kReliableCtlCtx) {
-      return std::any_of(sends.begin(), sends.end(), [&](const SendProgress& sp) {
-        return !sp.done && e.src == sp.op->dest && e.tag == sp.op->transfer_id;
-      });
+  // a rank answer its peers' transfers while blocked on its own. Every key
+  // is exact (src and tag pinned) and tombstone-transparent, so the epoch
+  // loop sees losses as well as payloads; rebuilt per iteration as transfers
+  // close.
+  const auto relevant_keys = [&] {
+    std::vector<rt::MatchKey> keys;
+    keys.reserve(sends.size() + 2 * recvs.size());
+    for (const SendProgress& sp : sends) {
+      if (sp.done) continue;
+      keys.push_back({rt::Channel::Internal, kReliableCtlCtx, sp.op->dest,
+                      sp.op->transfer_id, rt::FaultFilter::Any});
     }
-    if (e.context == kReliableDataCtx || e.context == kReliableFinCtx) {
-      return std::any_of(recvs.begin(), recvs.end(), [&](const RecvProgress& rp) {
-        return !rp.finished && e.src == rp.op->src &&
-               e.tag == rp.op->transfer_id;
-      });
+    for (const RecvProgress& rp : recvs) {
+      if (rp.finished) continue;
+      keys.push_back({rt::Channel::Internal, kReliableDataCtx, rp.op->src,
+                      rp.op->transfer_id, rt::FaultFilter::Any});
+      keys.push_back({rt::Channel::Internal, kReliableFinCtx, rp.op->src,
+                      rp.op->transfer_id, rt::FaultFilter::Any});
     }
-    return false;
+    return keys;
   };
 
   const auto open = [&] {
@@ -162,7 +167,8 @@ void run_reliable_epoch(ExecState& state, PendingOps& ops) {
   };
 
   while (open()) {
-    rt::Envelope e = ctx.mailbox().wait_extract(relevant);
+    const std::vector<rt::MatchKey> keys = relevant_keys();
+    rt::Envelope e = ctx.mailbox().wait_extract(keys);
 
     if (e.context == kReliableCtlCtx) {
       auto it = std::find_if(sends.begin(), sends.end(),
@@ -173,7 +179,7 @@ void run_reliable_epoch(ExecState& state, PendingOps& ops) {
       CID_ASSERT(it != sends.end(), "reliable ctl lost its transfer");
       SendProgress& sp = *it;
       if (!e.faulted) {
-        const std::uint32_t attempt = read_attempt(e.payload);
+        const std::uint32_t attempt = read_attempt(e.payload.span());
         if (attempt != static_cast<std::uint32_t>(sp.attempt)) {
           continue;  // stale duplicate of an earlier attempt's response
         }
@@ -210,7 +216,11 @@ void run_reliable_epoch(ExecState& state, PendingOps& ops) {
         continue;
       }
       ++sp.attempt;
-      const std::size_t bytes = sp.op->payload.size();
+      // payload holds the prefixed attempt-0 buffer; the wire bytes follow
+      // the attempt header.
+      const cid::ByteSpan wire =
+          sp.op->payload.span().subspan(kAttemptHeaderBytes);
+      const std::size_t bytes = wire.size();
       const simnet::SimTime injection_start = sp.t;
       sp.t += costs.send_overhead + costs.per_message_gap +
               static_cast<simnet::SimTime>(bytes) /
@@ -223,8 +233,8 @@ void run_reliable_epoch(ExecState& state, PendingOps& ops) {
       data.tag = sp.op->transfer_id;
       data.channel = rt::Channel::Internal;
       data.context = kReliableDataCtx;
-      data.payload = make_data_payload(static_cast<std::uint32_t>(sp.attempt),
-                                       sp.op->payload);
+      data.payload = rt::Payload(
+          make_data_payload(static_cast<std::uint32_t>(sp.attempt), wire));
       data.available_at = delivery;
       ctx.world().deliver(sp.op->dest, std::move(data));
       sp.attempt_sent_at = sp.t;
@@ -279,7 +289,7 @@ void run_reliable_epoch(ExecState& state, PendingOps& ops) {
       continue;
     }
 
-    const std::uint32_t attempt = read_attempt(e.payload);
+    const std::uint32_t attempt = read_attempt(e.payload.span());
     if (attempt < static_cast<std::uint32_t>(rp.next_attempt)) {
       // A fault-duplicated copy of an attempt that was already answered.
       ++state.stats.duplicates_suppressed;
@@ -334,20 +344,19 @@ void run_reliable_epoch(ExecState& state, PendingOps& ops) {
   // whose first copy already closed the transfer). They could never match a
   // later transfer — ids are monotonic per ordered pair — so this only keeps
   // the mailbox tidy.
-  while (ctx.mailbox().try_extract([&](const rt::Envelope& e) {
-    if (e.channel != rt::Channel::Internal) return false;
-    if (e.context == kReliableCtlCtx) {
-      return std::any_of(sends.begin(), sends.end(), [&](const SendProgress& sp) {
-        return e.src == sp.op->dest && e.tag == sp.op->transfer_id;
-      });
-    }
-    if (e.context == kReliableDataCtx || e.context == kReliableFinCtx) {
-      return std::any_of(recvs.begin(), recvs.end(), [&](const RecvProgress& rp) {
-        return e.src == rp.op->src && e.tag == rp.op->transfer_id;
-      });
-    }
-    return false;
-  })) {
+  std::vector<rt::MatchKey> drain_keys;
+  drain_keys.reserve(sends.size() + 2 * recvs.size());
+  for (const SendProgress& sp : sends) {
+    drain_keys.push_back({rt::Channel::Internal, kReliableCtlCtx, sp.op->dest,
+                          sp.op->transfer_id, rt::FaultFilter::Any});
+  }
+  for (const RecvProgress& rp : recvs) {
+    drain_keys.push_back({rt::Channel::Internal, kReliableDataCtx, rp.op->src,
+                          rp.op->transfer_id, rt::FaultFilter::Any});
+    drain_keys.push_back({rt::Channel::Internal, kReliableFinCtx, rp.op->src,
+                          rp.op->transfer_id, rt::FaultFilter::Any});
+  }
+  while (ctx.mailbox().try_extract(drain_keys)) {
   }
 
   // The epoch is the reliable lowering's flush: persistent slots can be

@@ -63,7 +63,30 @@ struct Datatype::Impl {
   std::size_t payload = 1;
   bool contiguous = true;
   bool committed = false;
+  /// Compiled once at creation; every gather/scatter walks these runs.
+  std::vector<PackRun> plan;
 };
+
+namespace {
+
+/// Coalesce declaration-order fields into maximal contiguous memcpy runs.
+/// Only declaration-adjacent fields may merge — the wire stores fields in
+/// declaration order, so merging any other pair would reorder wire bytes.
+std::vector<PackRun> compile_pack_plan(const std::vector<TypeField>& fields) {
+  std::vector<PackRun> plan;
+  for (const auto& field : fields) {
+    const std::size_t bytes = field.block_length * basic_type_size(field.type);
+    if (!plan.empty() &&
+        plan.back().offset + plan.back().bytes == field.displacement) {
+      plan.back().bytes += bytes;
+    } else {
+      plan.push_back({field.displacement, bytes});
+    }
+  }
+  return plan;
+}
+
+}  // namespace
 
 Datatype Datatype::basic(BasicType type) {
   // One shared immutable Impl per basic type.
@@ -79,6 +102,7 @@ Datatype Datatype::basic(BasicType type) {
     impl->payload = impl->extent;
     impl->contiguous = true;
     impl->committed = true;
+    impl->plan = {{0, impl->payload}};
     cache[index] = std::move(impl);
   }
   return Datatype(cache[index]);
@@ -131,6 +155,8 @@ Result<Datatype> Datatype::create_struct(std::vector<TypeField> fields,
   // Contiguous = payload fills the extent starting at 0 with no holes.
   impl->contiguous = (payload == extent);
   impl->committed = false;
+  impl->plan = impl->contiguous ? std::vector<PackRun>{{0, payload}}
+                                : compile_pack_plan(impl->fields);
   return Datatype(std::move(impl));
 }
 
@@ -154,25 +180,35 @@ const std::vector<TypeField>& Datatype::fields() const noexcept {
   return impl_->fields;
 }
 
-ByteBuffer Datatype::gather(const void* base, std::size_t count) const {
+const std::vector<PackRun>& Datatype::pack_plan() const noexcept {
+  return impl_->plan;
+}
+
+void Datatype::gather_into(MutableByteSpan out, const void* base,
+                           std::size_t count) const {
   CID_REQUIRE(committed(), ErrorCode::InvalidArgument,
               "datatype used before commit()");
+  CID_REQUIRE(out.size() == payload_size() * count, ErrorCode::InvalidArgument,
+              "gather destination size does not match datatype payload");
   const auto* src = static_cast<const std::byte*>(base);
-  ByteBuffer out(payload_size() * count);
   if (is_contiguous()) {
+    // Elements are back to back: one flat copy regardless of count.
     std::memcpy(out.data(), src, out.size());
-    return out;
+    return;
   }
   std::size_t pos = 0;
   for (std::size_t e = 0; e < count; ++e) {
     const std::byte* element = src + e * extent();
-    for (const auto& field : impl_->fields) {
-      const std::size_t bytes =
-          field.block_length * basic_type_size(field.type);
-      std::memcpy(out.data() + pos, element + field.displacement, bytes);
-      pos += bytes;
+    for (const auto& run : impl_->plan) {
+      std::memcpy(out.data() + pos, element + run.offset, run.bytes);
+      pos += run.bytes;
     }
   }
+}
+
+ByteBuffer Datatype::gather(const void* base, std::size_t count) const {
+  ByteBuffer out(payload_size() * count);
+  gather_into(MutableByteSpan(out.data(), out.size()), base, count);
   return out;
 }
 
@@ -193,11 +229,9 @@ Status Datatype::scatter(ByteSpan wire, void* base, std::size_t count) const {
   std::size_t pos = 0;
   for (std::size_t e = 0; e < count; ++e) {
     std::byte* element = dst + e * extent();
-    for (const auto& field : impl_->fields) {
-      const std::size_t bytes =
-          field.block_length * basic_type_size(field.type);
-      std::memcpy(element + field.displacement, wire.data() + pos, bytes);
-      pos += bytes;
+    for (const auto& run : impl_->plan) {
+      std::memcpy(element + run.offset, wire.data() + pos, run.bytes);
+      pos += run.bytes;
     }
   }
   return Status::ok();

@@ -43,6 +43,17 @@ struct TypeField {
   BasicType type = BasicType::Byte;
 };
 
+/// One copy of a compiled pack plan: `bytes` contiguous bytes at `offset`
+/// from the element base. Declaration-adjacent fields that are also
+/// memory-adjacent compile into a single run, so a padded-but-ordered struct
+/// packs with far fewer memcpy calls than it has fields (and a hole-free one
+/// with exactly one). Runs are in declaration order: the wire byte layout is
+/// identical to a field-by-field walk.
+struct PackRun {
+  std::size_t offset = 0;
+  std::size_t bytes = 0;
+};
+
 /// Value-semantic datatype handle. Basic types are singletons; struct types
 /// share their immutable layout.
 class Datatype {
@@ -75,9 +86,19 @@ class Datatype {
   std::size_t field_count() const noexcept;
   const std::vector<TypeField>& fields() const noexcept;
 
+  /// Compiled pack plan (built once at type creation): the maximal
+  /// contiguous runs a pack/unpack walks per element. Basic and contiguous
+  /// types have a single run covering the whole payload.
+  const std::vector<PackRun>& pack_plan() const noexcept;
+
   /// Gather `count` elements starting at `base` into a contiguous wire
-  /// buffer (field by field for non-contiguous types).
+  /// buffer (run by run along the pack plan for non-contiguous types).
   ByteBuffer gather(const void* base, std::size_t count) const;
+  /// Gather directly into caller-owned storage; `out` must be exactly
+  /// payload_size() * count bytes. Lets callers that already own the wire
+  /// destination (pack(), prefixed protocol payloads) skip a staging copy.
+  void gather_into(MutableByteSpan out, const void* base,
+                   std::size_t count) const;
   /// Scatter a wire buffer produced by gather() into `count` elements at
   /// `base`. Fails if the buffer size does not match.
   Status scatter(ByteSpan wire, void* base, std::size_t count) const;

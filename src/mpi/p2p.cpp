@@ -69,7 +69,8 @@ void inject(rt::RankCtx& ctx, RequestImpl& request, const void* buf,
   envelope.tag = tag;
   envelope.channel = rt::Channel::MpiPointToPoint;
   envelope.context = comm.context();
-  envelope.payload = std::move(payload);
+  // Wrap once; fault-layer duplicates and retransmissions alias these bytes.
+  envelope.payload = rt::Payload(std::move(payload));
   envelope.available_at = delivery;
   // Through the world's delivery seam so an installed fault interceptor can
   // drop / delay / duplicate the message.
@@ -351,18 +352,20 @@ RecvStatus sendrecv(const Comm& comm, const void* send_buf,
 }
 
 namespace {
-/// Probe predicate: a message matching (comm, source, tag).
-rt::Mailbox::Predicate probe_predicate(const Comm& comm, int source,
-                                       int tag) {
-  return [&comm, source, tag](const rt::Envelope& e) {
-    if (e.faulted) return false;  // tombstones are invisible to plain MPI
-    if (e.channel != rt::Channel::MpiPointToPoint) return false;
-    if (e.context != comm.context()) return false;
-    if (tag != kAnyTag && e.tag != tag) return false;
-    const int src_comm = comm.comm_rank_of_world(e.src);
-    if (src_comm < 0) return false;
-    return source == kAnySource || src_comm == source;
-  };
+/// Probe key: a clean message matching (comm, source, tag). Tombstones are
+/// invisible to plain MPI (FaultFilter::Clean); communicator membership of
+/// wildcard sources is checked by membership_residual.
+rt::MatchKey probe_key(const Comm& comm, int source, int tag) {
+  rt::MatchKey key;
+  key.channel = rt::Channel::MpiPointToPoint;
+  key.context = comm.context();
+  key.src = source == kAnySource ? rt::kMatchAny : comm.world_rank(source);
+  key.tag = tag == kAnyTag ? rt::kMatchAny : tag;
+  return key;
+}
+
+rt::Mailbox::Residual membership_residual(const Comm& comm) {
+  return [&comm](const rt::Envelope& e) { return comm.is_member(e.src); };
 }
 
 RecvStatus status_from_header(const Comm& comm,
@@ -384,9 +387,11 @@ RecvStatus probe(const Comm& comm, int source, int tag,
   CID_REQUIRE(comm.valid(), ErrorCode::InvalidArgument,
               "probe on invalid communicator");
   ctx.charge_compute(path(ctx).wait_single);
-  const auto predicate = probe_predicate(comm, source, tag);
-  ctx.mailbox().wait_present(predicate);
-  auto header = ctx.mailbox().peek(predicate);
+  const rt::MatchKey key = probe_key(comm, source, tag);
+  const rt::Mailbox::Residual residual = membership_residual(comm);
+  ctx.mailbox().wait_present(std::span<const rt::MatchKey>(&key, 1),
+                             &residual);
+  auto header = ctx.mailbox().peek(key, &residual);
   CID_ASSERT(header.has_value(), "probe lost the message it waited for");
   ctx.clock().advance_to(header->available_at);
   return status_from_header(comm, *header, dtype);
@@ -398,7 +403,8 @@ bool iprobe(const Comm& comm, int source, int tag, const Datatype& dtype,
   CID_REQUIRE(comm.valid(), ErrorCode::InvalidArgument,
               "iprobe on invalid communicator");
   ctx.charge_compute(path(ctx).waitall_per_request);  // cheap poll
-  auto header = ctx.mailbox().peek(probe_predicate(comm, source, tag));
+  const rt::Mailbox::Residual residual = membership_residual(comm);
+  auto header = ctx.mailbox().peek(probe_key(comm, source, tag), &residual);
   if (!header) return false;
   ctx.clock().advance_to(header->available_at);
   if (status != nullptr) *status = status_from_header(comm, *header, dtype);

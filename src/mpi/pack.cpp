@@ -1,7 +1,5 @@
 #include "mpi/pack.hpp"
 
-#include <cstring>
-
 #include "rt/runtime.hpp"
 
 namespace cid::mpi {
@@ -27,13 +25,13 @@ void pack(const Comm& comm, const void* inbuf, std::size_t count,
               "pack on invalid communicator");
   CID_REQUIRE(inbuf != nullptr, ErrorCode::InvalidArgument,
               "pack input buffer is null");
-  const ByteBuffer wire = dtype.gather(inbuf, count);
-  CID_REQUIRE(position + wire.size() <= outbuf.size(),
-              ErrorCode::InvalidArgument,
+  const std::size_t bytes = count * dtype.payload_size();
+  CID_REQUIRE(position + bytes <= outbuf.size(), ErrorCode::InvalidArgument,
               "pack overflows the output buffer");
-  std::memcpy(outbuf.data() + position, wire.data(), wire.size());
-  position += wire.size();
-  charge_pack(wire.size());
+  // Gather straight into the caller's buffer; no wire staging copy.
+  dtype.gather_into(outbuf.subspan(position, bytes), inbuf, count);
+  position += bytes;
+  charge_pack(bytes);
 }
 
 void unpack(const Comm& comm, ByteSpan inbuf, std::size_t& position,

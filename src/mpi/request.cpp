@@ -1,8 +1,10 @@
 #include "mpi/request.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "rt/envelope.hpp"
+#include "rt/mailbox.hpp"
 
 namespace cid::mpi {
 
@@ -33,6 +35,36 @@ bool envelope_matches(const rt::Envelope& envelope,
                       const detail::RequestImpl& request) {
   if (envelope.faulted) return false;
   return envelope_fields_match(envelope, request);
+}
+
+/// Structured key admitting the envelopes `envelope_fields_match` accepts for
+/// `request`, up to communicator membership (which only the residual can
+/// check when the source is a wildcard). match_source is a comm rank; the
+/// wire carries world ranks, so exact sources are translated here.
+rt::MatchKey key_for(const detail::RequestImpl& request,
+                     rt::FaultFilter faults) {
+  rt::MatchKey key;
+  key.channel = rt::Channel::MpiPointToPoint;
+  key.context = request.comm.context();
+  key.src = request.match_source == kAnySource
+                ? rt::kMatchAny
+                : request.comm.world_rank(request.match_source);
+  key.tag = request.match_tag == kAnyTag ? rt::kMatchAny : request.match_tag;
+  key.faults = faults;
+  return key;
+}
+
+/// Keys of every posted incomplete receive, for indexed mailbox matching.
+std::vector<rt::MatchKey> posted_keys(
+    const std::vector<std::shared_ptr<detail::RequestImpl>>& posted) {
+  std::vector<rt::MatchKey> keys;
+  keys.reserve(posted.size());
+  for (const auto& request : posted) {
+    if (!request->complete) {
+      keys.push_back(key_for(*request, rt::FaultFilter::Clean));
+    }
+  }
+  return keys;
 }
 
 }  // namespace
@@ -90,13 +122,16 @@ void Engine::progress(rt::RankCtx& ctx) {
   // choosing its receive atomically (per envelope) avoids the race where a
   // message arriving mid-sweep is claimed by a later posted receive after
   // an earlier matching receive already scanned an empty queue.
+  const rt::Mailbox::Residual residual = [this](const rt::Envelope& e) {
+    for (const auto& posted : posted_) {
+      if (!posted->complete && envelope_matches(e, *posted)) return true;
+    }
+    return false;
+  };
   for (;;) {
-    auto envelope = ctx.mailbox().try_extract([&](const rt::Envelope& e) {
-      for (const auto& posted : posted_) {
-        if (!posted->complete && envelope_matches(e, *posted)) return true;
-      }
-      return false;
-    });
+    const std::vector<rt::MatchKey> keys = posted_keys(posted_);
+    if (keys.empty()) break;
+    auto envelope = ctx.mailbox().try_extract(keys, &residual);
     if (!envelope) break;
     for (auto& posted : posted_) {
       if (!posted->complete && envelope_matches(*envelope, *posted)) {
@@ -111,14 +146,14 @@ void Engine::progress(rt::RankCtx& ctx) {
 }
 
 void Engine::wait_any_progress(rt::RankCtx& ctx) {
-  ctx.mailbox().wait_present([this](const rt::Envelope& envelope) {
+  const std::vector<rt::MatchKey> keys = posted_keys(posted_);
+  const rt::Mailbox::Residual residual = [this](const rt::Envelope& e) {
     for (const auto& posted : posted_) {
-      if (!posted->complete && envelope_matches(envelope, *posted)) {
-        return true;
-      }
+      if (!posted->complete && envelope_matches(e, *posted)) return true;
     }
     return false;
-  });
+  };
+  ctx.mailbox().wait_present(keys, &residual);
   progress(ctx);
 }
 
@@ -130,9 +165,13 @@ bool Engine::wait_complete_for(
     if (request->complete) break;
     // A tombstone addressed to this request means its message was dropped:
     // the virtual-time timer fires at the deadline.
-    auto tombstone = ctx.mailbox().try_extract([&](const rt::Envelope& e) {
-      return e.faulted && envelope_fields_match(e, *request);
-    });
+    const rt::MatchKey tombstone_key =
+        key_for(*request, rt::FaultFilter::Faulted);
+    const rt::Mailbox::Residual fields_residual = [&](const rt::Envelope& e) {
+      return envelope_fields_match(e, *request);
+    };
+    auto tombstone = ctx.mailbox().try_extract(
+        std::span<const rt::MatchKey>(&tombstone_key, 1), &fields_residual);
     if (tombstone) {
       posted_.erase(std::remove(posted_.begin(), posted_.end(), request),
                     posted_.end());
@@ -140,17 +179,16 @@ bool Engine::wait_complete_for(
       ctx.clock().advance_to(deadline);
       return false;
     }
-    ctx.mailbox().wait_present([&](const rt::Envelope& envelope) {
-      if (envelope.faulted && envelope_fields_match(envelope, *request)) {
-        return true;
-      }
+    std::vector<rt::MatchKey> keys = posted_keys(posted_);
+    keys.push_back(tombstone_key);
+    const rt::Mailbox::Residual residual = [&](const rt::Envelope& e) {
+      if (e.faulted) return envelope_fields_match(e, *request);
       for (const auto& posted : posted_) {
-        if (!posted->complete && envelope_matches(envelope, *posted)) {
-          return true;
-        }
+        if (!posted->complete && envelope_matches(e, *posted)) return true;
       }
       return false;
-    });
+    };
+    ctx.mailbox().wait_present(keys, &residual);
   }
   if (request->complete_at <= deadline) return true;
   // The payload landed, but only after the deadline: the timer fired first.
@@ -171,14 +209,14 @@ void Engine::wait_complete(
     // Block until something that could complete ANY posted receive arrives,
     // then re-run ordered matching. (Send requests complete at creation, so
     // reaching here means `request` is a posted receive.)
-    ctx.mailbox().wait_present([this](const rt::Envelope& envelope) {
+    const std::vector<rt::MatchKey> keys = posted_keys(posted_);
+    const rt::Mailbox::Residual residual = [this](const rt::Envelope& e) {
       for (const auto& posted : posted_) {
-        if (!posted->complete && envelope_matches(envelope, *posted)) {
-          return true;
-        }
+        if (!posted->complete && envelope_matches(e, *posted)) return true;
       }
       return false;
-    });
+    };
+    ctx.mailbox().wait_present(keys, &residual);
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/bytes.hpp"
+#include "rt/payload.hpp"
 #include "simnet/machine_model.hpp"
 
 namespace cid::rt {
@@ -23,7 +24,7 @@ struct Envelope {
   Channel channel = Channel::MpiPointToPoint;
   /// Communicator / window / context id within the channel.
   int context = 0;
-  cid::ByteBuffer payload;
+  Payload payload;
   /// Virtual time at which the payload is fully present at the destination.
   simnet::SimTime available_at = 0.0;
   /// Per-destination arrival sequence number (set by the mailbox).

@@ -1,84 +1,237 @@
 #include "rt/mailbox.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace cid::rt {
 
 void Mailbox::push(Envelope envelope) {
+  bool wake = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     envelope.seq = next_seq_++;
-    queue_.push_back(std::move(envelope));
+    for (const Waiter* waiter : waiters_) {
+      if (waiter->keys.empty()) {
+        wake = true;  // predicate waiter: must see every arrival
+        break;
+      }
+      for (const MatchKey& key : waiter->keys) {
+        if (key.admits(envelope)) {
+          wake = true;
+          break;
+        }
+      }
+      if (wake) break;
+    }
+    Bucket& bucket = buckets_[bucket_id(envelope.channel, envelope.context)];
+    bucket.exact[exact_id(envelope.src, envelope.tag)].push_back(envelope.seq);
+    bucket.by_seq.emplace(envelope.seq, std::move(envelope));
+    ++size_;
   }
-  arrived_.notify_all();
+  if (wake) arrived_.notify_all();
+}
+
+std::optional<Mailbox::Found> Mailbox::find_in_bucket(Bucket& bucket,
+                                                      const MatchKey& key,
+                                                      const Residual* residual,
+                                                      std::uint64_t floor) {
+  if (key.exact()) {
+    auto sub = bucket.exact.find(exact_id(key.src, key.tag));
+    if (sub == bucket.exact.end()) return std::nullopt;
+    auto& seqs = sub->second;
+    for (auto it = seqs.begin(); it != seqs.end();) {
+      auto env_it = bucket.by_seq.find(*it);
+      if (env_it == bucket.by_seq.end()) {
+        it = seqs.erase(it);  // extracted through another key: stale
+        continue;
+      }
+      if (*it >= floor && key.admits(env_it->second) &&
+          (residual == nullptr || (*residual)(env_it->second))) {
+        return Found{&bucket, env_it};
+      }
+      ++it;
+    }
+    if (seqs.empty()) bucket.exact.erase(sub);
+    return std::nullopt;
+  }
+  for (auto it = bucket.by_seq.lower_bound(floor); it != bucket.by_seq.end();
+       ++it) {
+    if (key.admits(it->second) &&
+        (residual == nullptr || (*residual)(it->second))) {
+      return Found{&bucket, it};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Mailbox::Found> Mailbox::find_any(std::span<const MatchKey> keys,
+                                                const Residual* residual,
+                                                std::uint64_t floor) {
+  // Lowest seq across all keys, so multi-key extraction reproduces the
+  // arrival-order semantics of a single scan over the whole queue.
+  std::optional<Found> best;
+  for (const MatchKey& key : keys) {
+    auto bucket = buckets_.find(bucket_id(key.channel, key.context));
+    if (bucket == buckets_.end()) continue;
+    auto found = find_in_bucket(bucket->second, key, residual, floor);
+    if (found && (!best || found->it->first < best->it->first)) best = found;
+  }
+  return best;
+}
+
+std::optional<Mailbox::Found> Mailbox::find_predicate(
+    const Predicate& predicate, std::uint64_t floor) {
+  // Merge-scan every bucket in ascending global seq order.
+  struct Cursor {
+    Bucket* bucket;
+    std::map<std::uint64_t, Envelope>::iterator it;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(buckets_.size());
+  for (auto& [id, bucket] : buckets_) {
+    (void)id;
+    auto it = bucket.by_seq.lower_bound(floor);
+    if (it != bucket.by_seq.end()) cursors.push_back({&bucket, it});
+  }
+  for (;;) {
+    Cursor* min = nullptr;
+    for (Cursor& cursor : cursors) {
+      if (cursor.it == cursor.bucket->by_seq.end()) continue;
+      if (min == nullptr || cursor.it->first < min->it->first) min = &cursor;
+    }
+    if (min == nullptr) return std::nullopt;
+    if (predicate(min->it->second)) return Found{min->bucket, min->it};
+    ++min->it;
+  }
+}
+
+Envelope Mailbox::extract(Found found) {
+  Envelope out = std::move(found.it->second);
+  Bucket& bucket = *found.bucket;
+  auto sub = bucket.exact.find(exact_id(out.src, out.tag));
+  if (sub != bucket.exact.end()) {
+    auto& seqs = sub->second;
+    if (!seqs.empty() && seqs.front() == out.seq) {
+      seqs.pop_front();
+    } else {
+      auto pos = std::lower_bound(seqs.begin(), seqs.end(), out.seq);
+      if (pos != seqs.end() && *pos == out.seq) seqs.erase(pos);
+    }
+    if (seqs.empty()) bucket.exact.erase(sub);
+  }
+  bucket.by_seq.erase(found.it);
+  --size_;
+  if (bucket.by_seq.empty()) {
+    buckets_.erase(bucket_id(out.channel, out.context));
+  }
+  return out;
+}
+
+void Mailbox::throw_if_poisoned() const {
+  if (poisoned_ && poisoned_()) {
+    throw CidError(ErrorCode::RuntimeFault,
+                   "SPMD world poisoned while waiting for a message");
+  }
+}
+
+template <typename Search>
+Mailbox::Found Mailbox::wait_match(std::unique_lock<std::mutex>& lock,
+                                   std::span<const MatchKey> waiter_keys,
+                                   const Search& search) {
+  std::uint64_t floor = 0;
+  for (;;) {
+    if (auto found = search(floor)) return *found;
+    floor = next_seq_;  // everything below was examined with these keys
+    throw_if_poisoned();
+    Waiter waiter{waiter_keys};
+    waiters_.push_back(&waiter);
+    arrived_.wait(lock);
+    waiters_.erase(std::find(waiters_.begin(), waiters_.end(), &waiter));
+  }
+}
+
+Envelope Mailbox::wait_extract(std::span<const MatchKey> keys,
+                               const Residual* residual) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  Found found = wait_match(lock, keys, [&](std::uint64_t floor) {
+    return find_any(keys, residual, floor);
+  });
+  return extract(found);
+}
+
+std::optional<Envelope> Mailbox::try_extract(std::span<const MatchKey> keys,
+                                             const Residual* residual) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto found = find_any(keys, residual, /*floor=*/0);
+  if (!found) return std::nullopt;
+  return extract(*found);
+}
+
+void Mailbox::wait_present(std::span<const MatchKey> keys,
+                           const Residual* residual) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  wait_match(lock, keys, [&](std::uint64_t floor) {
+    return find_any(keys, residual, floor);
+  });
+}
+
+bool Mailbox::probe(const MatchKey& key, const Residual* residual) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_any(std::span<const MatchKey>(&key, 1), residual, /*floor=*/0)
+      .has_value();
+}
+
+std::optional<Mailbox::Header> Mailbox::peek(const MatchKey& key,
+                                             const Residual* residual) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto found =
+      find_any(std::span<const MatchKey>(&key, 1), residual, /*floor=*/0);
+  if (!found) return std::nullopt;
+  const Envelope& e = found->it->second;
+  return Header{e.src, e.tag, e.payload.size(), e.available_at};
 }
 
 Envelope Mailbox::wait_extract(const Predicate& predicate) {
   std::unique_lock<std::mutex> lock(mutex_);
-  for (;;) {
-    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (predicate(*it)) {
-        Envelope out = std::move(*it);
-        queue_.erase(it);
-        return out;
-      }
-    }
-    if (poisoned_ && poisoned_()) {
-      throw CidError(ErrorCode::RuntimeFault,
-                     "SPMD world poisoned while waiting for a message");
-    }
-    arrived_.wait(lock);
-  }
-}
-
-void Mailbox::wait_present(const Predicate& predicate) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  for (;;) {
-    for (const auto& envelope : queue_) {
-      if (predicate(envelope)) return;
-    }
-    if (poisoned_ && poisoned_()) {
-      throw CidError(ErrorCode::RuntimeFault,
-                     "SPMD world poisoned while waiting for a message");
-    }
-    arrived_.wait(lock);
-  }
+  // Predicates may consult state outside the envelope, so every wakeup
+  // rescans from the start (no floor) and every push wakes us.
+  Found found = wait_match(lock, {}, [&](std::uint64_t) {
+    return find_predicate(predicate, /*floor=*/0);
+  });
+  return extract(found);
 }
 
 std::optional<Envelope> Mailbox::try_extract(const Predicate& predicate) {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-    if (predicate(*it)) {
-      Envelope out = std::move(*it);
-      queue_.erase(it);
-      return out;
-    }
-  }
-  return std::nullopt;
+  auto found = find_predicate(predicate, /*floor=*/0);
+  if (!found) return std::nullopt;
+  return extract(*found);
 }
 
-std::optional<Mailbox::Header> Mailbox::peek(const Predicate& predicate) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (const auto& envelope : queue_) {
-    if (predicate(envelope)) {
-      return Header{envelope.src, envelope.tag, envelope.payload.size(),
-                    envelope.available_at};
-    }
-  }
-  return std::nullopt;
+void Mailbox::wait_present(const Predicate& predicate) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  wait_match(lock, {}, [&](std::uint64_t) {
+    return find_predicate(predicate, /*floor=*/0);
+  });
 }
 
 bool Mailbox::probe(const Predicate& predicate) {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (const auto& envelope : queue_) {
-    if (predicate(envelope)) return true;
-  }
-  return false;
+  return find_predicate(predicate, /*floor=*/0).has_value();
+}
+
+std::optional<Mailbox::Header> Mailbox::peek(const Predicate& predicate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto found = find_predicate(predicate, /*floor=*/0);
+  if (!found) return std::nullopt;
+  const Envelope& e = found->it->second;
+  return Header{e.src, e.tag, e.payload.size(), e.available_at};
 }
 
 std::size_t Mailbox::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return queue_.size();
+  return size_;
 }
 
 void Mailbox::interrupt_all() { arrived_.notify_all(); }

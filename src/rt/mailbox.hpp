@@ -1,43 +1,121 @@
-// Per-rank mailbox: a mutex+condvar guarded arrival queue with predicate
-// matching. Matching scans in arrival order, which gives MPI's non-overtaking
-// guarantee for messages from the same source on the same channel/context/tag.
+// Per-rank mailbox: a mutex+condvar guarded arrival store with structured,
+// indexed matching.
+//
+// Envelopes live in per-(channel, context) buckets, ordered by a global
+// arrival sequence number (`seq`), with a per-(src, tag) FIFO sub-index
+// inside each bucket. Matching is expressed as a MatchKey — exact values or
+// wildcards for src/tag plus a fault-tombstone filter — so:
+//
+//  - the common exact-match extract is a hash lookup + front-of-queue pop
+//    instead of a linear std::function scan of the whole queue;
+//  - wildcard matches scan one bucket in arrival order, never unrelated
+//    channels/contexts;
+//  - MPI's non-overtaking guarantee holds by construction: within a bucket
+//    both the arrival list and every (src, tag) sub-queue are seq-ordered,
+//    and multi-key searches always return the lowest-seq match across keys;
+//  - blocking waits resume from a seq watermark after each wakeup (only
+//    newly arrived envelopes are examined — a rejected envelope is never
+//    rescanned within one wait, since keys are fixed for the call);
+//  - push() wakes a waiter only when the new envelope can match one of its
+//    registered keys; a push nobody could want costs no syscall.
+//
+// A generic predicate API remains for tests and exotic protocols; it scans
+// all buckets in global arrival order and wakes on every push.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
 
 #include "rt/envelope.hpp"
 
 namespace cid::rt {
 
+/// Wildcard value for MatchKey::src / MatchKey::tag. Distinct from -1, which
+/// is a legal envelope src/tag value.
+inline constexpr int kMatchAny = std::numeric_limits<int>::min();
+
+/// What a key does with fault-layer tombstones (Envelope::faulted).
+enum class FaultFilter : std::uint8_t {
+  Clean,    ///< match only intact envelopes (plain MPI matching)
+  Faulted,  ///< match only tombstones (timeout detection)
+  Any,      ///< match both (reliability protocol traffic)
+};
+
+/// One structured matching pattern. channel/context are always exact (they
+/// select the bucket); src/tag may be kMatchAny.
+struct MatchKey {
+  Channel channel = Channel::MpiPointToPoint;
+  int context = 0;
+  int src = kMatchAny;
+  int tag = kMatchAny;
+  FaultFilter faults = FaultFilter::Clean;
+
+  bool admits(const Envelope& e) const noexcept {
+    if (e.channel != channel || e.context != context) return false;
+    if (src != kMatchAny && e.src != src) return false;
+    if (tag != kMatchAny && e.tag != tag) return false;
+    switch (faults) {
+      case FaultFilter::Clean:
+        return !e.faulted;
+      case FaultFilter::Faulted:
+        return e.faulted;
+      case FaultFilter::Any:
+        return true;
+    }
+    return false;
+  }
+
+  bool exact() const noexcept { return src != kMatchAny && tag != kMatchAny; }
+};
+
 class Mailbox {
  public:
   using Predicate = std::function<bool(const Envelope&)>;
+  /// Optional refinement evaluated on key-admitted candidates only (e.g.
+  /// communicator-membership checks). Must be deterministic for the duration
+  /// of one call: a candidate it rejects is not re-examined within that call.
+  using Residual = std::function<bool(const Envelope&)>;
 
   /// Deliver an envelope (called from the sending rank's thread).
   void push(Envelope envelope);
 
-  /// Remove and return the first envelope (in arrival order) satisfying the
-  /// predicate; blocks until one arrives. Throws CidError(RuntimeFault) if the
-  /// world gets poisoned while waiting (see World::poison()).
-  Envelope wait_extract(const Predicate& predicate);
+  // ---- Structured (indexed) matching: the hot paths ----------------------
+
+  /// Remove and return the lowest-seq envelope admitted by any key (and the
+  /// residual, when given); blocks until one arrives. Throws
+  /// CidError(RuntimeFault) if the world gets poisoned while waiting.
+  Envelope wait_extract(std::span<const MatchKey> keys,
+                        const Residual* residual = nullptr);
+  Envelope wait_extract(const MatchKey& key,
+                        const Residual* residual = nullptr) {
+    return wait_extract(std::span<const MatchKey>(&key, 1), residual);
+  }
 
   /// Non-blocking variant.
-  std::optional<Envelope> try_extract(const Predicate& predicate);
+  std::optional<Envelope> try_extract(std::span<const MatchKey> keys,
+                                      const Residual* residual = nullptr);
+  std::optional<Envelope> try_extract(const MatchKey& key,
+                                      const Residual* residual = nullptr) {
+    return try_extract(std::span<const MatchKey>(&key, 1), residual);
+  }
 
-  /// Block until an envelope satisfying the predicate is present, without
-  /// removing it. Used by engines that must extract in posted order after
-  /// learning that progress is possible.
-  void wait_present(const Predicate& predicate);
+  /// Block until an admitted envelope is present, without removing it.
+  void wait_present(std::span<const MatchKey> keys,
+                    const Residual* residual = nullptr);
 
-  /// True if a matching envelope is queued (does not remove it).
-  bool probe(const Predicate& predicate);
+  /// True if an admitted envelope is queued (does not remove it).
+  bool probe(const MatchKey& key, const Residual* residual = nullptr);
 
-  /// Header of the first matching queued envelope (no payload copy, no
+  /// Header of the first admitted queued envelope (no payload copy, no
   /// removal): {src, tag, payload bytes, available_at}.
   struct Header {
     int src = -1;
@@ -45,6 +123,15 @@ class Mailbox {
     std::size_t payload_bytes = 0;
     simnet::SimTime available_at = 0.0;
   };
+  std::optional<Header> peek(const MatchKey& key,
+                             const Residual* residual = nullptr);
+
+  // ---- Generic predicate matching: tests / exotic protocols --------------
+
+  Envelope wait_extract(const Predicate& predicate);
+  std::optional<Envelope> try_extract(const Predicate& predicate);
+  void wait_present(const Predicate& predicate);
+  bool probe(const Predicate& predicate);
   std::optional<Header> peek(const Predicate& predicate);
 
   /// Number of queued envelopes (diagnostics).
@@ -58,10 +145,65 @@ class Mailbox {
   }
 
  private:
+  /// Arrival store of one (channel, context).
+  struct Bucket {
+    /// Envelopes in arrival order (seq is globally monotonic).
+    std::map<std::uint64_t, Envelope> by_seq;
+    /// (src, tag) -> seqs in arrival order. Entries whose envelope was
+    /// extracted through another key are stale and skipped lazily.
+    std::unordered_map<std::uint64_t, std::deque<std::uint64_t>> exact;
+  };
+
+  /// A registered blocking waiter, used by push() for targeted wakeups. An
+  /// empty key span means "wake on any arrival" (predicate waiters).
+  struct Waiter {
+    std::span<const MatchKey> keys;
+  };
+
+  static std::uint64_t bucket_id(Channel channel, int context) noexcept {
+    return (static_cast<std::uint64_t>(channel) << 32) |
+           static_cast<std::uint32_t>(context);
+  }
+  static std::uint64_t exact_id(int src, int tag) noexcept {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+            << 32) |
+           static_cast<std::uint32_t>(tag);
+  }
+
+  /// First (lowest-seq) admitted envelope with seq >= floor, or nullopt.
+  struct Found {
+    Bucket* bucket = nullptr;
+    std::map<std::uint64_t, Envelope>::iterator it;
+  };
+  std::optional<Found> find_in_bucket(Bucket& bucket, const MatchKey& key,
+                                      const Residual* residual,
+                                      std::uint64_t floor);
+  std::optional<Found> find_any(std::span<const MatchKey> keys,
+                                const Residual* residual,
+                                std::uint64_t floor);
+  std::optional<Found> find_predicate(const Predicate& predicate,
+                                      std::uint64_t floor);
+
+  /// Remove the found envelope from its bucket (and sub-index front) and
+  /// return it.
+  Envelope extract(Found found);
+
+  void throw_if_poisoned() const;
+
+  /// Generic blocking loop shared by every wait_* entry point: repeatedly
+  /// run `search(floor)`, advancing the floor watermark past everything
+  /// already examined, and sleep between attempts. Returns the match.
+  template <typename Search>
+  Found wait_match(std::unique_lock<std::mutex>& lock,
+                   std::span<const MatchKey> waiter_keys,
+                   const Search& search);
+
   mutable std::mutex mutex_;
   std::condition_variable arrived_;
-  std::deque<Envelope> queue_;
+  std::unordered_map<std::uint64_t, Bucket> buckets_;
+  std::vector<const Waiter*> waiters_;
   std::uint64_t next_seq_ = 0;
+  std::size_t size_ = 0;
   std::function<bool()> poisoned_;
 };
 

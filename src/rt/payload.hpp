@@ -1,0 +1,50 @@
+// Shared, immutable message payload. Sends wrap the gathered wire bytes
+// exactly once; every later hand-off — fault-layer duplicates, retransmission
+// sources, envelope copies — bumps a refcount instead of deep-copying the
+// bytes. Immutability is what makes the sharing safe: once wrapped, the bytes
+// are never written again, so any number of envelopes may alias them.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "common/bytes.hpp"
+
+namespace cid::rt {
+
+class Payload {
+ public:
+  Payload() = default;
+
+  /// Take ownership of `bytes` (no copy, empty buffers stay unallocated).
+  explicit Payload(ByteBuffer bytes)
+      : data_(bytes.empty()
+                  ? nullptr
+                  : std::make_shared<const ByteBuffer>(std::move(bytes))) {}
+
+  /// Copy `bytes` into a fresh shared buffer (for callers that only hold a
+  /// view). Prefer the moving constructor on hot paths.
+  static Payload copy_of(ByteSpan bytes) {
+    return Payload(ByteBuffer(bytes.begin(), bytes.end()));
+  }
+
+  std::size_t size() const noexcept { return data_ ? data_->size() : 0; }
+  const std::byte* data() const noexcept {
+    return data_ ? data_->data() : nullptr;
+  }
+  ByteSpan span() const noexcept { return ByteSpan(data(), size()); }
+  std::byte operator[](std::size_t index) const { return (*data_)[index]; }
+  bool empty() const noexcept { return size() == 0; }
+
+  /// Drop this reference (tombstones carry no payload).
+  void clear() noexcept { data_.reset(); }
+
+  /// Number of envelopes currently aliasing these bytes (diagnostics/tests).
+  long use_count() const noexcept { return data_.use_count(); }
+
+ private:
+  std::shared_ptr<const ByteBuffer> data_;
+};
+
+}  // namespace cid::rt

@@ -2,8 +2,12 @@
 // max-reducing barrier, mailboxes, failure poisoning.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <numeric>
+#include <span>
+#include <vector>
 
 #include "rt/runtime.hpp"
 
@@ -165,6 +169,189 @@ TEST(Mailbox, TryExtractReturnsEmptyWhenNoMatch) {
     auto result = ctx.mailbox().try_extract(
         [](const cid::rt::Envelope&) { return true; });
     EXPECT_FALSE(result.has_value());
+  });
+}
+
+// Helper for the MatchKey tests: queue one envelope into the calling rank's
+// own mailbox.
+void push_self(RankCtx& ctx, int src, int tag, cid::rt::Channel channel,
+               int context, bool faulted = false) {
+  cid::rt::Envelope envelope;
+  envelope.src = src;
+  envelope.tag = tag;
+  envelope.channel = channel;
+  envelope.context = context;
+  envelope.faulted = faulted;
+  ctx.mailbox().push(std::move(envelope));
+}
+
+TEST(MatchKey, ExactExtractPreservesNonOvertakingOrder) {
+  cid::rt::run(1, MachineModel::zero(), [](RankCtx& ctx) {
+    // Three messages from (src=2, tag=5) interleaved with unrelated traffic
+    // on the same channel+context; exact extraction must see them in arrival
+    // (push) order - MPI's non-overtaking guarantee.
+    using cid::rt::Channel;
+    push_self(ctx, 2, 5, Channel::MpiPointToPoint, 0);  // seq 0
+    push_self(ctx, 3, 5, Channel::MpiPointToPoint, 0);
+    push_self(ctx, 2, 7, Channel::MpiPointToPoint, 0);
+    push_self(ctx, 2, 5, Channel::MpiPointToPoint, 0);  // seq 3
+    push_self(ctx, 2, 5, Channel::MpiPointToPoint, 0);  // seq 4
+    cid::rt::MatchKey key;
+    key.src = 2;
+    key.tag = 5;
+    std::vector<std::uint64_t> seqs;
+    while (auto e = ctx.mailbox().try_extract(key)) seqs.push_back(e->seq);
+    ASSERT_EQ(seqs.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(seqs.begin(), seqs.end()));
+    EXPECT_EQ(seqs.front(), 0u);
+    EXPECT_EQ(ctx.mailbox().size(), 2u);  // the unrelated two remain
+  });
+}
+
+TEST(MatchKey, WildcardsMatchAcrossSourcesAndTagsInArrivalOrder) {
+  cid::rt::run(1, MachineModel::zero(), [](RankCtx& ctx) {
+    using cid::rt::Channel;
+    push_self(ctx, 0, 10, Channel::MpiPointToPoint, 0);
+    push_self(ctx, 4, 11, Channel::MpiPointToPoint, 0);
+    push_self(ctx, 1, 10, Channel::MpiPointToPoint, 0);
+
+    // ANY_SOURCE with an exact tag.
+    cid::rt::MatchKey any_src;
+    any_src.src = cid::rt::kMatchAny;
+    any_src.tag = 10;
+    auto first = ctx.mailbox().try_extract(any_src);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->src, 0);  // arrival order, not source order
+
+    // ANY_SOURCE + ANY_TAG takes whatever arrived first of the rest.
+    cid::rt::MatchKey any_any;
+    any_any.src = cid::rt::kMatchAny;
+    any_any.tag = cid::rt::kMatchAny;
+    auto second = ctx.mailbox().try_extract(any_any);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->src, 4);
+    EXPECT_EQ(second->tag, 11);
+  });
+}
+
+TEST(MatchKey, FaultFiltersSeparateTombstonesFromCleanTraffic) {
+  cid::rt::run(1, MachineModel::zero(), [](RankCtx& ctx) {
+    using cid::rt::Channel;
+    // Clean / tombstone / clean / tombstone, all same (src, tag).
+    push_self(ctx, 1, 3, Channel::MpiPointToPoint, 0, /*faulted=*/false);
+    push_self(ctx, 1, 3, Channel::MpiPointToPoint, 0, /*faulted=*/true);
+    push_self(ctx, 1, 3, Channel::MpiPointToPoint, 0, /*faulted=*/false);
+    push_self(ctx, 1, 3, Channel::MpiPointToPoint, 0, /*faulted=*/true);
+
+    cid::rt::MatchKey clean;  // FaultFilter::Clean is the default
+    clean.src = 1;
+    clean.tag = 3;
+    auto c1 = ctx.mailbox().try_extract(clean);
+    ASSERT_TRUE(c1.has_value());
+    EXPECT_EQ(c1->seq, 0u);  // skipped no clean envelope
+
+    cid::rt::MatchKey faulted = clean;
+    faulted.faults = cid::rt::FaultFilter::Faulted;
+    auto t1 = ctx.mailbox().try_extract(faulted);
+    ASSERT_TRUE(t1.has_value());
+    EXPECT_TRUE(t1->faulted);
+    EXPECT_EQ(t1->seq, 1u);
+
+    // FaultFilter::Any drains the rest in arrival order regardless of flag.
+    cid::rt::MatchKey any = clean;
+    any.faults = cid::rt::FaultFilter::Any;
+    auto a1 = ctx.mailbox().try_extract(any);
+    auto a2 = ctx.mailbox().try_extract(any);
+    ASSERT_TRUE(a1.has_value() && a2.has_value());
+    EXPECT_EQ(a1->seq, 2u);
+    EXPECT_FALSE(a1->faulted);
+    EXPECT_EQ(a2->seq, 3u);
+    EXPECT_TRUE(a2->faulted);
+    EXPECT_EQ(ctx.mailbox().size(), 0u);
+  });
+}
+
+TEST(MatchKey, MidQueueExactExtractionKeepsRemainingOrder) {
+  cid::rt::run(1, MachineModel::zero(), [](RankCtx& ctx) {
+    using cid::rt::Channel;
+    for (int tag : {1, 2, 3, 2, 1}) {
+      push_self(ctx, 0, tag, Channel::MpiPointToPoint, 0);
+    }
+    // Pull tag 3 out of the middle, then both tag-2 envelopes; the per-(src,
+    // tag) sub-queues must skip the holes the other extractions left behind.
+    cid::rt::MatchKey key;
+    key.src = 0;
+    key.tag = 3;
+    ASSERT_TRUE(ctx.mailbox().try_extract(key).has_value());
+    key.tag = 2;
+    auto first2 = ctx.mailbox().try_extract(key);
+    auto second2 = ctx.mailbox().try_extract(key);
+    ASSERT_TRUE(first2.has_value() && second2.has_value());
+    EXPECT_LT(first2->seq, second2->seq);
+    // Only the two tag-1 envelopes remain, still in arrival order.
+    cid::rt::MatchKey any;
+    any.src = cid::rt::kMatchAny;
+    any.tag = cid::rt::kMatchAny;
+    auto r1 = ctx.mailbox().try_extract(any);
+    auto r2 = ctx.mailbox().try_extract(any);
+    ASSERT_TRUE(r1.has_value() && r2.has_value());
+    EXPECT_EQ(r1->tag, 1);
+    EXPECT_EQ(r2->tag, 1);
+    EXPECT_LT(r1->seq, r2->seq);
+  });
+}
+
+TEST(MatchKey, MultiKeyExtractionReturnsGlobalArrivalOrderAcrossBuckets) {
+  cid::rt::run(1, MachineModel::zero(), [](RankCtx& ctx) {
+    using cid::rt::Channel;
+    // Envelopes land in different (channel, context) buckets; a multi-key
+    // wait must still hand them back in global arrival order, exactly like
+    // the old single-queue scan did.
+    push_self(ctx, 0, 1, Channel::Internal, 7);         // seq 0
+    push_self(ctx, 0, 1, Channel::MpiPointToPoint, 0);  // seq 1
+    push_self(ctx, 0, 1, Channel::Internal, 8);         // seq 2
+    std::vector<cid::rt::MatchKey> keys(3);
+    keys[0].channel = Channel::MpiPointToPoint;
+    keys[0].context = 0;
+    keys[0].src = 0;
+    keys[0].tag = 1;
+    keys[1].channel = Channel::Internal;
+    keys[1].context = 7;
+    keys[1].src = 0;
+    keys[1].tag = 1;
+    keys[2].channel = Channel::Internal;
+    keys[2].context = 8;
+    keys[2].src = 0;
+    keys[2].tag = 1;
+    std::vector<std::uint64_t> seqs;
+    while (auto e = ctx.mailbox().try_extract(
+               std::span<const cid::rt::MatchKey>(keys))) {
+      seqs.push_back(e->seq);
+    }
+    ASSERT_EQ(seqs.size(), 3u);
+    EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 1, 2}));
+  });
+}
+
+TEST(MatchKey, ResidualRefinesKeyMatchesWithoutBreakingOrder) {
+  cid::rt::run(1, MachineModel::zero(), [](RankCtx& ctx) {
+    using cid::rt::Channel;
+    for (int src : {5, 6, 5, 7}) {
+      push_self(ctx, src, 1, Channel::MpiPointToPoint, 0);
+    }
+    cid::rt::MatchKey any;
+    any.src = cid::rt::kMatchAny;
+    any.tag = 1;
+    const cid::rt::Mailbox::Residual odd_src_only =
+        [](const cid::rt::Envelope& e) { return e.src % 2 == 1; };
+    auto first = ctx.mailbox().try_extract(any, &odd_src_only);
+    auto second = ctx.mailbox().try_extract(any, &odd_src_only);
+    auto third = ctx.mailbox().try_extract(any, &odd_src_only);
+    ASSERT_TRUE(first.has_value() && second.has_value() && third.has_value());
+    EXPECT_EQ(first->src, 5);
+    EXPECT_EQ(second->src, 5);  // the src=6 envelope is skipped, not consumed
+    EXPECT_EQ(third->src, 7);
+    EXPECT_EQ(ctx.mailbox().size(), 1u);
   });
 }
 

@@ -1,5 +1,10 @@
 // Shared helpers for the figure-reproduction benches. All times are VIRTUAL
 // seconds from the machine model — deterministic, independent of the host.
+//
+// Every bench built on these helpers honours CID_TRACE_OUT=<file>: because
+// each measured configuration goes through rt::run, setting the variable
+// exports a Perfetto-loadable virtual-time trace of the (whole) bench run
+// with embedded per-directive metrics — see docs/OBSERVABILITY.md.
 #pragma once
 
 #include <cstdio>

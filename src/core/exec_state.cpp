@@ -62,7 +62,7 @@ mpi::Datatype ExecState::datatype_for(const TypeLayout& layout) {
 }
 
 void ExecState::flush(PendingOps& ops) {
-  const bool trace = detail::active_trace_sink() != nullptr && !ops.empty();
+  const bool trace = detail::trace_enabled() && !ops.empty();
   simnet::SimTime trace_begin = 0.0;
   if (trace) trace_begin = rt::current_ctx().clock().now();
   if (!ops.reliable_sends.empty() || !ops.reliable_recvs.empty()) {

@@ -540,7 +540,7 @@ void execute_p2p(const Clauses& site_clauses, const RegionImpl* region,
   if (overlap != nullptr && *overlap) {
     const simnet::SimTime overlap_begin = ctx.clock().now();
     (*overlap)();
-    if (active_trace_sink() != nullptr) {
+    if (trace_enabled()) {
       record_trace_event({TraceEventKind::Overlap, ctx.rank(), overlap_begin,
                           ctx.clock().now(), site, 0, 0});
     }
@@ -550,7 +550,7 @@ void execute_p2p(const Clauses& site_clauses, const RegionImpl* region,
     state.flush(state.pending);
   }
 
-  if (active_trace_sink() != nullptr) {
+  if (trace_enabled()) {
     record_trace_event({TraceEventKind::P2PDirective, ctx.rank(), trace_begin,
                         ctx.clock().now(), site,
                         state.stats.total_bytes() - trace_bytes0,
@@ -630,7 +630,7 @@ void comm_parameters(const Clauses& clauses,
       break;
   }
 
-  if (detail::active_trace_sink() != nullptr) {
+  if (detail::trace_enabled()) {
     detail::record_trace_event({TraceEventKind::RegionDirective,
                                 trace_ctx.rank(), trace_begin,
                                 trace_ctx.clock().now(),

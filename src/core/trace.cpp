@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <ostream>
 
+#include "obs/obs.hpp"
+
 namespace cid::core {
 
 std::string_view trace_event_kind_name(TraceEventKind kind) noexcept {
@@ -27,11 +29,68 @@ struct TraceCollector::Sink {
 namespace detail {
 namespace {
 thread_local TraceCollector::Sink* t_sink = nullptr;
+
+/// Derive the per-(metric, site, rank) counters and virtual-time latency
+/// histograms the observability layer publishes for every directive event.
+/// Latencies are the virtual span duration in seconds; the faults/reliability
+/// kinds are point events, so only their occurrence counters matter.
+void forward_to_obs(const TraceEvent& event) {
+  const std::string_view cat = trace_event_kind_name(event.kind);
+  obs::span({event.rank, std::string(cat), event.site, event.begin, event.end,
+             event.bytes, event.messages});
+  const double duration = event.end - event.begin;
+  switch (event.kind) {
+    case TraceEventKind::P2PDirective:
+      obs::count("cid.p2p.bytes_sent", event.site, event.rank, event.bytes);
+      obs::count("cid.p2p.messages", event.site, event.rank, event.messages);
+      obs::observe("cid.p2p.virtual_seconds", event.site, event.rank,
+                   duration);
+      break;
+    case TraceEventKind::RegionDirective:
+      obs::count("cid.region.executions", event.site, event.rank);
+      obs::count("cid.region.bytes_sent", event.site, event.rank, event.bytes);
+      obs::observe("cid.region.virtual_seconds", event.site, event.rank,
+                   duration);
+      break;
+    case TraceEventKind::CollectiveDirective:
+      obs::count("cid.collective.executions", event.site, event.rank);
+      obs::count("cid.collective.bytes_sent", event.site, event.rank,
+                 event.bytes);
+      obs::observe("cid.collective.virtual_seconds", event.site, event.rank,
+                   duration);
+      break;
+    case TraceEventKind::Synchronization:
+      obs::count("cid.sync.flushes", event.site, event.rank);
+      obs::observe("cid.sync.virtual_seconds", event.site, event.rank,
+                   duration);
+      break;
+    case TraceEventKind::Overlap:
+      obs::observe("cid.overlap.virtual_seconds", event.site, event.rank,
+                   duration);
+      break;
+    case TraceEventKind::FaultInjected:
+      obs::count("cid.faults.injected", event.site, event.rank);
+      break;
+    case TraceEventKind::Retransmit:
+      obs::count("cid.reliability.retransmits", event.site, event.rank);
+      obs::count("cid.reliability.retransmit_bytes", event.site, event.rank,
+                 event.bytes);
+      break;
+    case TraceEventKind::Timeout:
+      obs::count("cid.reliability.timeouts", event.site, event.rank);
+      break;
+  }
 }
+}  // namespace
 
 TraceCollector::Sink* active_trace_sink() noexcept { return t_sink; }
 
+bool trace_enabled() noexcept {
+  return t_sink != nullptr || obs::enabled();
+}
+
 void record_trace_event(TraceEvent event) {
+  if (obs::enabled()) forward_to_obs(event);
   TraceCollector::Sink* sink = t_sink;
   if (sink == nullptr) return;
   std::lock_guard<std::mutex> lock(sink->mutex);

@@ -82,6 +82,15 @@ namespace detail {
 /// Executor hook: the active sink of the calling rank (nullptr = tracing
 /// off). Set by TraceCollector::attach for the current thread.
 TraceCollector::Sink* active_trace_sink() noexcept;
+
+/// True when anything wants directive events: an attached TraceCollector on
+/// this thread, or the process-wide cid::obs recorder (CID_TRACE_OUT).
+/// Directive executors must gate event construction on this.
+bool trace_enabled() noexcept;
+
+/// Record an event into the attached collector (if any) and forward it to
+/// cid::obs (span + derived per-site counters/histograms) when obs recording
+/// is on.
 void record_trace_event(TraceEvent event);
 }  // namespace detail
 

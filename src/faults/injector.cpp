@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/trace.hpp"
+#include "obs/obs.hpp"
 #include "rt/envelope.hpp"
 
 namespace cid::faults {
@@ -105,6 +106,11 @@ rt::DeliveryVerdict FaultInjector::on_deliver(const rt::Envelope& envelope,
       envelope.payload.size(),
       1,
   });
+  if (obs::enabled()) {
+    // Per-kind occurrence counter keyed by the victim sender, alongside the
+    // site-grained cid.faults.injected counter derived from the trace event.
+    obs::count("faults.injected", fault_kind_name(fate), src);
+  }
   return verdict;
 }
 

@@ -1,5 +1,8 @@
 #include "mpi/pack.hpp"
 
+#include <chrono>
+
+#include "obs/obs.hpp"
 #include "rt/runtime.hpp"
 
 namespace cid::mpi {
@@ -12,6 +15,31 @@ void charge_pack(std::size_t bytes) {
                      static_cast<simnet::SimTime>(bytes) /
                          host.pack_bytes_per_second);
 }
+
+/// Wall-clock timer for the host-side datatype walk. This is real host time
+/// (not virtual time): it profiles the simulator's own packing cost, and it
+/// never touches rank clocks, so recording cannot perturb virtual results.
+class PackTimer {
+ public:
+  explicit PackTimer(const char* site) : site_(site) {
+    if (obs::enabled()) start_ = std::chrono::steady_clock::now();
+  }
+  ~PackTimer() {
+    if (!obs::enabled()) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const double ns =
+        std::chrono::duration_cast<std::chrono::duration<double, std::nano>>(
+            elapsed)
+            .count();
+    obs::observe("mpi.pack.wall_ns", site_, rt::current_ctx().rank(), ns);
+  }
+  PackTimer(const PackTimer&) = delete;
+  PackTimer& operator=(const PackTimer&) = delete;
+
+ private:
+  const char* site_;
+  std::chrono::steady_clock::time_point start_{};
+};
 }  // namespace
 
 std::size_t pack_size(std::size_t count, const Datatype& dtype) {
@@ -29,7 +57,10 @@ void pack(const Comm& comm, const void* inbuf, std::size_t count,
   CID_REQUIRE(position + bytes <= outbuf.size(), ErrorCode::InvalidArgument,
               "pack overflows the output buffer");
   // Gather straight into the caller's buffer; no wire staging copy.
-  dtype.gather_into(outbuf.subspan(position, bytes), inbuf, count);
+  {
+    PackTimer timer("pack");
+    dtype.gather_into(outbuf.subspan(position, bytes), inbuf, count);
+  }
   position += bytes;
   charge_pack(bytes);
 }
@@ -43,8 +74,11 @@ void unpack(const Comm& comm, ByteSpan inbuf, std::size_t& position,
   const std::size_t bytes = count * dtype.payload_size();
   CID_REQUIRE(position + bytes <= inbuf.size(), ErrorCode::InvalidArgument,
               "unpack reads past the end of the input buffer");
-  const Status status =
-      dtype.scatter(inbuf.subspan(position, bytes), outbuf, count);
+  Status status = Status::ok();
+  {
+    PackTimer timer("unpack");
+    status = dtype.scatter(inbuf.subspan(position, bytes), outbuf, count);
+  }
   CID_REQUIRE(status.is_ok(), ErrorCode::InvalidArgument, status.to_string());
   position += bytes;
   charge_pack(bytes);

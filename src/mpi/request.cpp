@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "rt/envelope.hpp"
 #include "rt/mailbox.hpp"
 
@@ -113,6 +114,10 @@ void Engine::deliver(rt::RankCtx& ctx, detail::RequestImpl& request,
   request.complete_at = envelope.available_at;
   request.complete = true;
   request.active = false;
+  if (obs::enabled()) {
+    obs::count("mpi.match.messages", "engine", ctx.rank());
+    obs::count("mpi.match.bytes", "engine", ctx.rank(), wire_bytes);
+  }
 }
 
 void Engine::progress(rt::RankCtx& ctx) {

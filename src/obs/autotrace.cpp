@@ -1,0 +1,63 @@
+#include "obs/autotrace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "obs/obs.hpp"
+
+namespace cid::obs {
+
+namespace {
+
+std::atomic<bool> g_active{false};
+
+std::string& path_storage() {
+  // Intentionally leaked so the atexit writer can read it during teardown.
+  static std::string* path = new std::string();
+  return *path;
+}
+
+void init_from_env() {
+  const char* path = std::getenv("CID_TRACE_OUT");
+  if (path == nullptr || path[0] == '\0') return;
+  path_storage() = path;
+  g_active.store(true, std::memory_order_release);
+  set_enabled(true);
+  std::atexit([] { autotrace_write(); });
+}
+
+}  // namespace
+
+bool autotrace_poll() {
+  static std::once_flag once;
+  std::call_once(once, init_from_env);
+  return autotrace_active();
+}
+
+bool autotrace_active() noexcept {
+  return g_active.load(std::memory_order_acquire);
+}
+
+const std::string& autotrace_path() { return path_storage(); }
+
+void autotrace_write() {
+  if (!autotrace_active()) return;
+  // Serialize concurrent writers (run end vs. atexit) and rewrite the whole
+  // file each time: the recorder accumulates, so the last write wins with
+  // the complete timeline. The mutex is leaked so the atexit call can take
+  // it after static teardown.
+  static std::mutex* mutex = new std::mutex();
+  std::lock_guard<std::mutex> lock(*mutex);
+  std::ofstream out(path_storage(), std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cid: CID_TRACE_OUT: cannot write '%s'\n",
+                 path_storage().c_str());
+    return;
+  }
+  write_chrome_json(out);
+}
+
+}  // namespace cid::obs

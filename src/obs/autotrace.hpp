@@ -1,0 +1,29 @@
+// CID_TRACE_OUT — the zero-code-change export switch.
+//
+//   CID_TRACE_OUT=trace.json build/examples/halo2d
+//
+// rt::run polls this on every launch; the first poll that finds the
+// variable enables obs recording process-wide and registers an atexit
+// writer. The file is (re)written at the end of every SPMD run and once
+// more at process exit, so it always holds the complete timeline of every
+// run the process executed. Load it in Perfetto (ui.perfetto.dev) or
+// chrome://tracing; inspect it with `cidt trace summarize`.
+#pragma once
+
+#include <string>
+
+namespace cid::obs {
+
+/// Check the environment switch (cached after the first call) and activate
+/// recording when set. Returns true while autotrace is active.
+bool autotrace_poll();
+
+bool autotrace_active() noexcept;
+
+/// Destination path ("" when inactive).
+const std::string& autotrace_path();
+
+/// Write the trace file now. No-op when inactive.
+void autotrace_write();
+
+}  // namespace cid::obs

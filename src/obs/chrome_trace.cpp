@@ -1,0 +1,125 @@
+// Chrome trace-event export of the obs span stream + metrics registry.
+//
+// Object form of the trace-event format, which Perfetto and about:tracing
+// both accept:
+//
+//   {
+//     "traceEvents": [
+//       {"name":"process_name","ph":"M",...},       // metadata: process
+//       {"name":"thread_name","ph":"M","tid":R,...} // metadata: one per rank
+//       {"name":<site>,"cat":<phase>,"ph":"X",...}  // one slice per span
+//     ],
+//     "displayTimeUnit": "ns",
+//     "cidMetrics": { "counters": [...], "histograms": [...] }
+//   }
+//
+// Timestamps are virtual microseconds. Number formatting uses %.17g so a
+// deterministic run serializes to byte-identical JSON on every host.
+#include <cstdio>
+#include <ostream>
+#include <set>
+
+#include "obs/obs.hpp"
+
+namespace cid::obs {
+
+namespace {
+
+void write_json_string(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (c == '\n') {
+      out << "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char hex[8];
+      std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+      out << hex;
+    } else {
+      out << c;
+    }
+  }
+  out << '"';
+}
+
+void write_double(std::ostream& out, double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out << buffer;
+}
+
+}  // namespace
+
+void write_chrome_json(std::ostream& out) {
+  const std::vector<Span> sorted = spans();
+
+  out << "{\n\"traceEvents\": [\n";
+  out << R"({"name":"process_name","ph":"M","pid":0,"tid":0,)"
+      << R"("args":{"name":"cid virtual time"}})";
+
+  std::set<int> ranks;
+  for (const Span& s : sorted) ranks.insert(s.rank);
+  for (const int rank : ranks) {
+    out << ",\n"
+        << R"({"name":"thread_name","ph":"M","pid":0,"tid":)" << rank
+        << R"(,"args":{"name":"rank )" << rank << R"("}})";
+  }
+
+  for (const Span& s : sorted) {
+    out << ",\n" << R"({"name":)";
+    write_json_string(out, s.name);
+    out << R"(,"cat":)";
+    write_json_string(out, s.cat);
+    out << R"(,"ph":"X","pid":0,"tid":)" << s.rank << R"(,"ts":)";
+    write_double(out, s.begin * 1e6);
+    out << R"(,"dur":)";
+    write_double(out, (s.end - s.begin) * 1e6);
+    out << R"(,"args":{"bytes":)" << s.bytes << R"(,"messages":)"
+        << s.messages << "}}";
+  }
+  out << "\n],\n\"displayTimeUnit\": \"ns\",\n";
+
+  out << "\"cidMetrics\": {\n\"counters\": [";
+  bool first = true;
+  for (const auto& row : MetricsRegistry::global().counters()) {
+    out << (first ? "\n" : ",\n") << R"({"metric":)";
+    first = false;
+    write_json_string(out, row.key.metric);
+    out << R"(,"site":)";
+    write_json_string(out, row.key.site);
+    out << R"(,"rank":)" << row.key.rank << R"(,"value":)" << row.value
+        << '}';
+  }
+  out << "\n],\n\"histograms\": [";
+  first = true;
+  for (const auto& row : MetricsRegistry::global().histograms()) {
+    const Histogram& h = row.histogram;
+    out << (first ? "\n" : ",\n") << R"({"metric":)";
+    first = false;
+    write_json_string(out, row.key.metric);
+    out << R"(,"site":)";
+    write_json_string(out, row.key.site);
+    out << R"(,"rank":)" << row.key.rank << R"(,"count":)" << h.count()
+        << R"(,"sum":)";
+    write_double(out, h.sum());
+    out << R"(,"min":)";
+    write_double(out, h.min());
+    out << R"(,"max":)";
+    write_double(out, h.max());
+    // Sparse buckets: [index, count] pairs for non-empty buckets only.
+    out << R"(,"buckets":[)";
+    bool first_bucket = true;
+    for (int i = 0; i < Histogram::kBucketCount; ++i) {
+      const std::uint64_t n = h.buckets()[static_cast<std::size_t>(i)];
+      if (n == 0) continue;
+      if (!first_bucket) out << ',';
+      first_bucket = false;
+      out << '[' << i << ',' << n << ']';
+    }
+    out << "]}";
+  }
+  out << "\n]\n}\n}\n";
+}
+
+}  // namespace cid::obs

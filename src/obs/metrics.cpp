@@ -1,0 +1,78 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+
+namespace cid::obs {
+
+int Histogram::bucket_of(double value) noexcept {
+  if (!(value > kBase)) return 0;  // <= kBase, zero, negative, NaN
+  const double x = value / kBase;
+  // Values past ~1e300 overflow the division to infinity (frexp would then
+  // report exponent 0); they belong in the catch-all last bucket anyway.
+  if (!std::isfinite(x)) return kBucketCount - 1;
+  // ceil(log2 x) via frexp: frexp returns m in [0.5, 1) with x = m * 2^e,
+  // so log2 x lies in (e-1, e] and equals e-1 exactly when m == 0.5.
+  int e = 0;
+  const double m = std::frexp(x, &e);
+  const int ceil_log2 = (m == 0.5) ? e - 1 : e;
+  if (ceil_log2 < 1) return 1;  // x in (1, 2] rounds up into bucket 1
+  if (ceil_log2 >= kBucketCount) return kBucketCount - 1;
+  return ceil_log2;
+}
+
+double Histogram::bucket_upper_bound(int index) noexcept {
+  return kBase * std::ldexp(1.0, index);
+}
+
+void Histogram::observe(double value) noexcept {
+  ++buckets_[static_cast<std::size_t>(bucket_of(value))];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  sum_ += value;
+  ++count_;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Intentionally leaked: must survive static teardown for the atexit
+  // CID_TRACE_OUT writer (see obs/autotrace.cpp).
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void MetricsRegistry::add(std::string_view metric, std::string_view site,
+                          int rank, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[MetricKey{std::string(metric), std::string(site), rank}] += delta;
+}
+
+void MetricsRegistry::observe(std::string_view metric, std::string_view site,
+                              int rank, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  histograms_[MetricKey{std::string(metric), std::string(site), rank}]
+      .observe(value);
+}
+
+std::vector<MetricsRegistry::CounterRow> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterRow> out;
+  out.reserve(counters_.size());
+  for (const auto& [key, value] : counters_) out.push_back({key, value});
+  return out;
+}
+
+std::vector<MetricsRegistry::HistogramRow> MetricsRegistry::histograms()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramRow> out;
+  out.reserve(histograms_.size());
+  for (const auto& [key, hist] : histograms_) out.push_back({key, hist});
+  return out;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  histograms_.clear();
+}
+
+}  // namespace cid::obs

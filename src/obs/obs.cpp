@@ -1,0 +1,81 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+namespace cid::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+struct SpanStore {
+  std::mutex mutex;
+  std::vector<Span> spans;
+};
+
+SpanStore& span_store() {
+  // Intentionally leaked: the CID_TRACE_OUT atexit writer runs during
+  // process teardown, possibly after static destructors, so the store must
+  // outlive every destructor.
+  static SpanStore* store = new SpanStore();
+  return *store;
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void span(Span s) {
+  if (!enabled()) return;
+  SpanStore& store = span_store();
+  std::lock_guard<std::mutex> lock(store.mutex);
+  store.spans.push_back(std::move(s));
+}
+
+void count(std::string_view metric, std::string_view site, int rank,
+           std::uint64_t delta) {
+  if (!enabled()) return;
+  MetricsRegistry::global().add(metric, site, rank, delta);
+}
+
+void observe(std::string_view metric, std::string_view site, int rank,
+             double value) {
+  if (!enabled()) return;
+  MetricsRegistry::global().observe(metric, site, rank, value);
+}
+
+std::vector<Span> spans() {
+  SpanStore& store = span_store();
+  std::vector<Span> out;
+  {
+    std::lock_guard<std::mutex> lock(store.mutex);
+    out = store.spans;
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    if (a.rank != b.rank) return a.rank < b.rank;
+    if (a.begin != b.begin) return a.begin < b.begin;
+    if (a.end != b.end) return a.end < b.end;
+    if (a.cat != b.cat) return a.cat < b.cat;
+    if (a.name != b.name) return a.name < b.name;
+    if (a.bytes != b.bytes) return a.bytes < b.bytes;
+    return a.messages < b.messages;
+  });
+  return out;
+}
+
+void clear() {
+  SpanStore& store = span_store();
+  {
+    std::lock_guard<std::mutex> lock(store.mutex);
+    store.spans.clear();
+  }
+  MetricsRegistry::global().clear();
+}
+
+}  // namespace cid::obs

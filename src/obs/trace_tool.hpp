@@ -1,0 +1,25 @@
+// Trace-file analysis behind the `cidt trace` CLI subcommand: summarize one
+// trace (per-phase and per-site virtual time / bytes), diff two traces, and
+// export spans as CSV. Pure functions over TraceFile so tests can drive them
+// without touching the filesystem.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/trace_read.hpp"
+
+namespace cid::obs {
+
+/// Human-readable summary: totals, per-phase (cat) table, per-site table
+/// with bytes and virtual-time latency, and any embedded metrics.
+void summarize_trace(const TraceFile& trace, std::ostream& out);
+
+/// Compare two traces by per-(cat, name) aggregates; print the differing
+/// rows. Returns true when the aggregates are identical.
+bool diff_traces(const TraceFile& a, const TraceFile& b, std::ostream& out);
+
+/// CSV export: one row per span (rank,cat,name,ts_us,dur_us,bytes,messages).
+void export_csv(const TraceFile& trace, std::ostream& out);
+
+}  // namespace cid::obs

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "obs/autotrace.hpp"
 
 namespace cid::rt {
 
@@ -45,6 +46,9 @@ RunResult run(int nranks, const simnet::MachineModel& model, const RankFn& fn,
               "run() requires nranks >= 1");
   CID_REQUIRE(!in_spmd_region(), ErrorCode::RuntimeFault,
               "nested SPMD regions are not supported");
+  // CID_TRACE_OUT: enable process-wide observability recording with zero
+  // code changes in the SPMD program.
+  obs::autotrace_poll();
 
   World world(nranks, model);
   if (options.interceptor != nullptr) {
@@ -81,6 +85,9 @@ RunResult run(int nranks, const simnet::MachineModel& model, const RankFn& fn,
   for (int r = 0; r < nranks; ++r) {
     result.final_clocks.push_back(world.clock(r).now());
   }
+  // Flush the trace file at the end of every run, not only at process exit,
+  // so a crash in a later run still leaves the completed runs on disk.
+  if (obs::autotrace_active()) obs::autotrace_write();
   return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace cid::rt {
 
 World::World(int nranks, simnet::MachineModel model)
@@ -20,6 +22,13 @@ World::World(int nranks, simnet::MachineModel model)
 void World::deliver(int dest, Envelope envelope) {
   CID_REQUIRE(dest >= 0 && dest < nranks_, ErrorCode::InvalidArgument,
               "deliver destination rank out of range");
+  if (obs::enabled()) {
+    // Every envelope (including fault-layer duplicates pushed below) funnels
+    // through here, so this counter pair is the ground truth for wire load
+    // per destination rank.
+    obs::count("rt.deliver.messages", "world", dest);
+    obs::count("rt.deliver.bytes", "world", dest, envelope.payload.size());
+  }
   if (interceptor_ != nullptr) {
     const DeliveryVerdict verdict = interceptor_->on_deliver(envelope, dest);
     if (verdict.sender_stall > 0.0 && envelope.src >= 0 &&

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace cid::shmem {
 
@@ -38,6 +39,10 @@ void do_put(rt::RankCtx& ctx, void* dest, const void* source,
 
   heap.record_put(ctx.rank(), pe, delivery);
   ctx.world().notify_rank(pe);
+  if (obs::enabled()) {
+    obs::count("shmem.put.messages", "heap", ctx.rank());
+    obs::count("shmem.put.bytes", "heap", ctx.rank(), bytes);
+  }
 }
 
 bool compare(std::uint64_t observed, Cmp cmp, std::uint64_t value) {

@@ -49,6 +49,7 @@ int compile(const std::string& source_path, const std::string& binary_path,
                            CID_BINARY_DIR + "/src/mpi/libcid_mpi.a " +
                            CID_BINARY_DIR + "/src/shmem/libcid_shmem.a " +
                            CID_BINARY_DIR + "/src/rt/libcid_rt.a " +
+                           CID_BINARY_DIR + "/src/obs/libcid_obs.a " +
                            CID_BINARY_DIR + "/src/simnet/libcid_simnet.a " +
                            CID_BINARY_DIR + "/src/common/libcid_common.a";
   const std::string command = std::string(CID_CXX_COMPILER) +

@@ -1,14 +1,13 @@
 // Property-style tests: invariants checked over seeded random inputs and
-// parameter sweeps rather than hand-picked cases.
+// parameter sweeps rather than hand-picked cases — expression algebraic
+// identities and print/parse round trips; datatype gather/scatter as the
+// identity on random struct layouts; virtual-clock monotonicity and barrier
+// max-reduction over rank sweeps; random guarded ring/pair transfers
+// delivering exactly the data the guards select, on every target.
 //
-//  - expression language: algebraic identities and print/parse round trips
-//    over randomly generated expression trees;
-//  - datatypes: gather/scatter is the identity on payload fields for random
-//    struct layouts;
-//  - runtime: virtual-clock monotonicity and barrier max-reduction over rank
-//    sweeps;
-//  - directives: a random sequence of guarded ring/pair transfers delivers
-//    exactly the data the guards select, on every target.
+// NOTE: the HotPathGolden fingerprints hash directive site strings
+// ("file:line" of this file), so edits above run_faulty_exchange must keep
+// its line numbers stable: compensate for added/removed lines, or append below.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -27,6 +26,7 @@
 #include "faults/fault_plan.hpp"
 #include "faults/injector.hpp"
 #include "mpi/mpi.hpp"
+#include "obs/obs.hpp"
 #include "rt/runtime.hpp"
 #include "shmem/shmem.hpp"
 
@@ -559,6 +559,71 @@ TEST(HotPathGolden, CleanRingClocksMatchPrePrFingerprint) {
   }
   EXPECT_EQ(clocks_hash, kGoldenCleanClocksHash);
   EXPECT_DOUBLE_EQ(result.makespan(), kGoldenCleanMakespan);
+}
+
+// ---------------------------------------------------------------------------
+// Observability must be a pure observer: with cid::obs recording enabled
+// (the CID_TRACE_OUT path), virtual time, the directive trace and the stats
+// counters must match the same golden fingerprints bit for bit. Recording
+// never touches a rank clock, so any divergence here means a probe leaked
+// into the simulation.
+// ---------------------------------------------------------------------------
+
+/// Enable obs recording for one scope; restore the disabled default even on
+/// assertion failure.
+struct ObsRecordingScope {
+  ObsRecordingScope() {
+    cid::obs::clear();
+    cid::obs::set_enabled(true);
+  }
+  ~ObsRecordingScope() {
+    cid::obs::set_enabled(false);
+    cid::obs::clear();
+  }
+};
+
+TEST(ObsExport, DoesNotPerturbFaultyRunGoldenFingerprints) {
+  ObsRecordingScope recording;
+  const FaultTraceRun run = run_faulty_exchange(0x5eedULL);
+  if (std::getenv("CID_PRINT_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "golden print mode";
+  }
+  EXPECT_EQ(fnv1a64(run.trace_json), kGoldenFaultyTraceHash);
+  EXPECT_EQ(fnv1a64(stats_fingerprint(run.stats)), kGoldenFaultyStatsHash);
+  // ...and the recorder did actually observe the run.
+  EXPECT_FALSE(cid::obs::spans().empty());
+}
+
+TEST(ObsExport, DoesNotPerturbCleanRingClocks) {
+  auto clocks_hash_of = [] {
+    auto result = cid::rt::run(
+        9, MachineModel::cray_xk7_gemini(), [](RankCtx& ctx) {
+          namespace mpi = cid::mpi;
+          auto world = mpi::Comm::world();
+          double token[4] = {1, 2, 3, 4};
+          const int next = (ctx.rank() + 1) % ctx.nranks();
+          const int prev = (ctx.rank() - 1 + ctx.nranks()) % ctx.nranks();
+          for (int lap = 0; lap < 3; ++lap) {
+            auto recv_req = mpi::irecv(world, token, 4, prev, lap);
+            auto send_req = mpi::isend(world, token, 4, next, lap);
+            mpi::wait(recv_req);
+            mpi::wait(send_req);
+            ctx.barrier();
+          }
+        });
+    std::string bits(result.final_clocks.size() * sizeof(double), '\0');
+    std::memcpy(bits.data(), result.final_clocks.data(), bits.size());
+    return fnv1a64(bits);
+  };
+  std::uint64_t with_obs = 0;
+  {
+    ObsRecordingScope recording;
+    with_obs = clocks_hash_of();
+  }
+  if (std::getenv("CID_PRINT_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "golden print mode";
+  }
+  EXPECT_EQ(with_obs, kGoldenCleanClocksHash);
 }
 
 }  // namespace

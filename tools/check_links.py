@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repository docs.
+
+Checks every inline link ``[text](target)`` in the given markdown files:
+
+- intra-repo file links must resolve on disk (relative to the linking file);
+- fragment links (``file.md#anchor`` or ``#anchor``) must name a heading that
+  exists in the target file, using GitHub's anchor slugification;
+- external links (http/https/mailto) are recognized but NOT fetched — CI must
+  not depend on network reachability.
+
+Exit status 0 when every link resolves, 1 otherwise (one line per dead link).
+
+Usage:
+    python3 tools/check_links.py README.md DESIGN.md EXPERIMENTS.md docs/*.md
+
+Stdlib only; no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links: [text](target). Skips images via the (?<!!) lookbehind and
+# tolerates one level of nested brackets in the text (e.g. [[name]](x)).
+LINK_RE = re.compile(r"(?<!!)\[(?:[^\[\]]|\[[^\]]*\])*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading -> anchor slugification.
+
+    Lowercase, strip everything but word characters/spaces/hyphens, then
+    replace spaces with hyphens. Markdown formatting inside the heading is
+    removed first (inline code, emphasis, links keep their text).
+    """
+    text = heading.strip()
+    # [text](target) -> text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    # Inline code / emphasis markers drop out entirely.
+    text = text.replace("`", "").replace("*", "").replace("_", "")
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path, cache: dict[Path, set[str]]) -> set[str]:
+    """All heading anchors of a markdown file, with GitHub's -1/-2 dedup."""
+    if path in cache:
+        return cache[path]
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8", errors="replace").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    cache[path] = anchors
+    return anchors
+
+
+def iter_links(path: Path):
+    """Yield (line_number, target) for every inline link outside code fences."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8", errors="replace").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path, repo_root: Path, anchor_cache: dict[Path, set[str]]) -> list[str]:
+    errors: list[str] = []
+    for lineno, target in iter_links(path):
+        where = f"{path.relative_to(repo_root)}:{lineno}"
+        if re.match(r"^[a-zA-Z][a-zA-Z0-9+.\-]*:", target):
+            continue  # external scheme (https:, mailto:, ...) — not fetched
+        target, _, fragment = target.partition("#")
+        if target:
+            dest = (path.parent / target).resolve()
+        else:
+            dest = path.resolve()  # pure '#anchor' link into the same file
+        try:
+            dest.relative_to(repo_root)
+        except ValueError:
+            errors.append(f"{where}: link escapes the repository: {target}")
+            continue
+        if not dest.exists():
+            errors.append(f"{where}: dead link: {target}")
+            continue
+        if fragment:
+            if dest.is_dir() or dest.suffix.lower() not in (".md", ".markdown"):
+                errors.append(f"{where}: anchor on non-markdown target: {target}#{fragment}")
+                continue
+            if fragment.lower() not in anchors_of(dest, anchor_cache):
+                errors.append(f"{where}: dead anchor: {target or path.name}#{fragment}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    repo_root = Path(__file__).resolve().parent.parent
+    anchor_cache: dict[Path, set[str]] = {}
+    errors: list[str] = []
+    checked = 0
+    for arg in argv[1:]:
+        path = Path(arg).resolve()
+        if not path.exists():
+            errors.append(f"{arg}: file not found")
+            continue
+        checked += 1
+        errors.extend(check_file(path, repo_root, anchor_cache))
+    for error in errors:
+        print(error)
+    print(f"check_links: {checked} file(s), {len(errors)} problem(s)", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

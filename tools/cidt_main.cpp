@@ -10,12 +10,22 @@
 //     --summary          print a translation summary to stderr
 //     --check            validate the directives only (no output); exit 0
 //                        when every directive is well-formed
+//
+//   cidt trace summarize <trace.json>       per-phase / per-site report
+//   cidt trace diff <a.json> <b.json>       compare two traces; exit 1 when
+//                                           they differ
+//   cidt trace export <trace.json> [-o f]   spans as CSV
+//
+// Trace files are the Chrome trace-event JSON written by CID_TRACE_OUT=...
+// or core::TraceCollector::write_chrome_json.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "obs/trace_read.hpp"
+#include "obs/trace_tool.hpp"
 #include "translate/translator.hpp"
 
 namespace {
@@ -23,14 +33,71 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [-o out.cpp] [--check] [--target mpi2side|mpi1side|shmem] "
-               "[--comm <expr>] [--no-annotate] [--summary] input.cpp\n",
-               argv0);
+               "[--comm <expr>] [--no-annotate] [--summary] input.cpp\n"
+               "       %s trace summarize <trace.json>\n"
+               "       %s trace diff <a.json> <b.json>\n"
+               "       %s trace export <trace.json> [-o out.csv]\n",
+               argv0, argv0, argv0, argv0);
   return 2;
+}
+
+int trace_main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string verb = argv[2];
+
+  auto load = [&](const char* path) {
+    auto result = cid::obs::read_trace_file(path);
+    if (!result.is_ok()) {
+      std::fprintf(stderr, "cidt: %s: %s\n", path,
+                   result.status().to_string().c_str());
+    }
+    return result;
+  };
+
+  if (verb == "summarize") {
+    if (argc != 4) return usage(argv[0]);
+    auto trace = load(argv[3]);
+    if (!trace.is_ok()) return 1;
+    cid::obs::summarize_trace(trace.value(), std::cout);
+    return 0;
+  }
+  if (verb == "diff") {
+    if (argc != 5) return usage(argv[0]);
+    auto lhs = load(argv[3]);
+    auto rhs = load(argv[4]);
+    if (!lhs.is_ok() || !rhs.is_ok()) return 2;
+    const bool identical =
+        cid::obs::diff_traces(lhs.value(), rhs.value(), std::cout);
+    return identical ? 0 : 1;
+  }
+  if (verb == "export") {
+    if (argc != 4 && !(argc == 6 && std::string(argv[4]) == "-o")) {
+      return usage(argv[0]);
+    }
+    auto trace = load(argv[3]);
+    if (!trace.is_ok()) return 1;
+    if (argc == 6) {
+      std::ofstream out(argv[5]);
+      if (!out) {
+        std::fprintf(stderr, "cidt: cannot write '%s'\n", argv[5]);
+        return 1;
+      }
+      cid::obs::export_csv(trace.value(), out);
+    } else {
+      cid::obs::export_csv(trace.value(), std::cout);
+    }
+    return 0;
+  }
+  std::fprintf(stderr, "cidt: unknown trace verb '%s'\n", verb.c_str());
+  return usage(argv[0]);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "trace") {
+    return trace_main(argc, argv);
+  }
   std::string input_path;
   std::string output_path;
   bool print_summary = false;

@@ -103,6 +103,7 @@ Result<ParsedDirective> parse_pragma(std::string_view line) {
     }
     RawClause clause;
     clause.name = std::string(rest.substr(0, i));
+    clause.offset = static_cast<std::size_t>(rest.data() - line.data());
     rest = trim(rest.substr(i));
 
     const ClauseRule* rule = find_rule(clause.name);

@@ -23,6 +23,10 @@ std::string_view directive_name(DirectiveKind kind) noexcept;
 struct RawClause {
   std::string name;
   std::vector<std::string> args;  ///< top-level comma-split, trimmed
+  /// Byte offset of the clause name within the text given to parse_pragma
+  /// (continuation lines already joined) — lets diagnostics point at the
+  /// clause instead of the start of the pragma.
+  std::size_t offset = 0;
 };
 
 struct ParsedDirective {

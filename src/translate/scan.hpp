@@ -1,0 +1,93 @@
+// Lexical analysis of directive-annotated source, shared by the
+// source-to-source translator and the static analyzer (cid::analyze).
+//
+// Two layers:
+//  - character-level helpers (block/statement extents, pragma detection,
+//    line/column mapping, a code mask that blanks comments and string
+//    literals) used by the translator's rewriting loop;
+//  - scan_directives(), which builds the lexical region tree the analyzer
+//    consumes: every #pragma comm_* in the source, parsed, with source
+//    locations, attached-body extents and nesting. Malformed pragmas and
+//    structural problems (missing body, unbalanced braces, unterminated
+//    continuations) are reported as ScanIssues instead of aborting the scan,
+//    so one bad directive does not hide the rest of the file.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/pragma.hpp"
+
+namespace cid::translate {
+
+// --- character-level helpers ------------------------------------------------
+
+/// Position of the matching '}' for the '{' at `open`, skipping string and
+/// character literals and // and /* */ comments. npos when unbalanced.
+std::size_t find_block_end(std::string_view text, std::size_t open);
+
+/// Position just past the ';' terminating the statement starting at `start`
+/// (same literal/comment skipping). npos when not found.
+std::size_t find_statement_end(std::string_view text, std::size_t start);
+
+/// 1-based line number of `pos`.
+int line_of(std::string_view text, std::size_t pos);
+
+/// 1-based column number of `pos`.
+int column_of(std::string_view text, std::size_t pos);
+
+/// Is there a comm directive pragma starting at the beginning of the line
+/// containing position `i`? (`i` must point at the '#'.)
+bool is_pragma_start(std::string_view text, std::size_t i);
+
+/// Byte mask over `text`: 1 where the byte is live code, 0 inside comments,
+/// string literals (including raw strings) and character literals. Used to
+/// ignore pragma text quoted in strings and to scan identifier references.
+std::vector<unsigned char> code_mask(std::string_view text);
+
+/// Textual clause inheritance: `inner`'s clauses layered over `outer`'s
+/// (clauses present on `inner` win, absent ones inherit) — the static
+/// counterpart of core::Clauses::merged. The result keeps `inner`'s kind.
+core::ParsedDirective merge_directives(const core::ParsedDirective& outer,
+                                       const core::ParsedDirective& inner);
+
+// --- the directive tree -----------------------------------------------------
+
+/// One directive with its attached body, nested inside the tree of
+/// comm_parameters regions exactly as the translator sees it.
+struct DirectiveNode {
+  core::ParsedDirective directive;
+  int line = 0;    ///< 1-based line of the pragma's '#'
+  int column = 0;  ///< 1-based column of the pragma's '#'
+  std::size_t pragma_begin = 0;  ///< offset of the '#'
+  std::size_t body_begin = 0;    ///< content offset (inside braces, or the
+                                 ///< statement / nested-directive start)
+  std::size_t body_end = 0;      ///< content end (exclusive)
+  std::size_t node_end = 0;      ///< offset just past the whole construct
+  bool body_is_block = false;
+  bool pragma_continued = false;  ///< pragma spanned '\'-continued lines
+  std::vector<DirectiveNode> children;  ///< directives nested in the body
+};
+
+/// A problem found while scanning: a malformed pragma line or a structural
+/// error around a directive. `status` carries the parser's message.
+struct ScanIssue {
+  int line = 0;
+  int column = 0;
+  Status status;
+};
+
+struct DirectiveTree {
+  std::vector<DirectiveNode> roots;
+  std::vector<ScanIssue> issues;
+};
+
+/// Scan a whole source buffer into its directive tree. Pragma text inside
+/// comments and string literals is ignored. Never fails: problems are
+/// reported through `issues` and the affected directive is skipped.
+DirectiveTree scan_directives(std::string_view source);
+
+}  // namespace cid::translate

@@ -6,6 +6,7 @@
 
 #include "common/strings.hpp"
 #include "core/pragma.hpp"
+#include "translate/scan.hpp"
 
 namespace cid::translate {
 
@@ -18,158 +19,9 @@ using core::SyncPlacement;
 using core::Target;
 
 // ---------------------------------------------------------------------------
-// Lexical helpers
+// Clause utilities (lexical helpers and the textual clause merge live in
+// translate/scan.cpp, shared with the static analyzer)
 // ---------------------------------------------------------------------------
-
-/// Position of the matching '}' for the '{' at `open`, skipping string and
-/// character literals and // and /* */ comments. npos when unbalanced.
-std::size_t find_block_end(std::string_view text, std::size_t open) {
-  int depth = 0;
-  enum class State { Code, LineComment, BlockComment, String, Char } state =
-      State::Code;
-  for (std::size_t i = open; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (state) {
-      case State::Code:
-        if (c == '/' && next == '/') {
-          state = State::LineComment;
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::BlockComment;
-          ++i;
-        } else if (c == '"') {
-          state = State::String;
-        } else if (c == '\'') {
-          state = State::Char;
-        } else if (c == '{') {
-          ++depth;
-        } else if (c == '}') {
-          if (--depth == 0) return i;
-        }
-        break;
-      case State::LineComment:
-        if (c == '\n') state = State::Code;
-        break;
-      case State::BlockComment:
-        if (c == '*' && next == '/') {
-          state = State::Code;
-          ++i;
-        }
-        break;
-      case State::String:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '"') {
-          state = State::Code;
-        }
-        break;
-      case State::Char:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          state = State::Code;
-        }
-        break;
-    }
-  }
-  return std::string_view::npos;
-}
-
-/// Position just past the ';' terminating the statement starting at `start`
-/// (same literal/comment skipping). npos when not found.
-std::size_t find_statement_end(std::string_view text, std::size_t start) {
-  enum class State { Code, LineComment, BlockComment, String, Char } state =
-      State::Code;
-  int parens = 0;
-  for (std::size_t i = start; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (state) {
-      case State::Code:
-        if (c == '/' && next == '/') {
-          state = State::LineComment;
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::BlockComment;
-          ++i;
-        } else if (c == '"') {
-          state = State::String;
-        } else if (c == '\'') {
-          state = State::Char;
-        } else if (c == '(') {
-          ++parens;
-        } else if (c == ')') {
-          --parens;
-        } else if (c == ';' && parens == 0) {
-          return i + 1;
-        }
-        break;
-      case State::LineComment:
-        if (c == '\n') state = State::Code;
-        break;
-      case State::BlockComment:
-        if (c == '*' && next == '/') {
-          state = State::Code;
-          ++i;
-        }
-        break;
-      case State::String:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '"') {
-          state = State::Code;
-        }
-        break;
-      case State::Char:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          state = State::Code;
-        }
-        break;
-    }
-  }
-  return std::string_view::npos;
-}
-
-int line_of(std::string_view text, std::size_t pos) {
-  int line = 1;
-  for (std::size_t i = 0; i < pos && i < text.size(); ++i) {
-    if (text[i] == '\n') ++line;
-  }
-  return line;
-}
-
-/// Is there a comm directive pragma starting at the beginning of the line
-/// containing position `i`?
-bool is_pragma_start(std::string_view text, std::size_t i) {
-  // i must point at '#' that begins (after whitespace) a line.
-  std::size_t j = i;
-  while (j > 0 && (text[j - 1] == ' ' || text[j - 1] == '\t')) --j;
-  if (j != 0 && text[j - 1] != '\n') return false;
-  std::string_view rest = text.substr(i);
-  if (!cid::starts_with(rest, "#")) return false;
-  rest = cid::trim(rest.substr(1, 64));
-  return cid::starts_with(rest, "pragma comm_parameters") ||
-         cid::starts_with(rest, "pragma comm_p2p") ||
-         cid::starts_with(rest, "pragma comm_collective");
-}
-
-// ---------------------------------------------------------------------------
-// Clause utilities (textual merge, the static form of Clauses::merged)
-// ---------------------------------------------------------------------------
-
-ParsedDirective merge_textual(const ParsedDirective& region,
-                              const ParsedDirective& p2p) {
-  ParsedDirective merged;
-  merged.kind = DirectiveKind::CommP2P;
-  for (const auto& clause : region.clauses) {
-    if (p2p.find(clause.name) == nullptr) merged.clauses.push_back(clause);
-  }
-  for (const auto& clause : p2p.clauses) merged.clauses.push_back(clause);
-  return merged;
-}
 
 std::string clause_arg(const ParsedDirective& directive,
                        std::string_view name, std::string fallback = {}) {
@@ -456,7 +308,7 @@ class Translator {
 
     RegionContext region;
     region.clauses = parent != nullptr
-                         ? merge_textual(parent->clauses, directive)
+                         ? merge_directives(parent->clauses, directive)
                          : directive;
     region.clauses.kind = DirectiveKind::CommParameters;
     region.target = directive_target(region.clauses);
@@ -593,7 +445,7 @@ class Translator {
     }
 
     const ParsedDirective merged =
-        region != nullptr ? merge_textual(region->clauses, directive)
+        region != nullptr ? merge_directives(region->clauses, directive)
                           : directive;
 
     const Target target = directive_target(merged);
@@ -676,7 +528,7 @@ class Translator {
     const int id = next_id_++;
 
     const ParsedDirective merged =
-        region != nullptr ? merge_textual(region->clauses, directive)
+        region != nullptr ? merge_directives(region->clauses, directive)
                           : directive;
 
     // Static validation mirroring Clauses::validate_for_p2p.

@@ -335,6 +335,49 @@ TEST(Pragma, Rejections) {
   EXPECT_FALSE(parse_pragma("#pragma comm_p2p sendwhen(rank==0)").is_ok());
 }
 
+// The exact rejection messages are part of the tool surface: `cidt check`
+// forwards them verbatim as CID-P001 diagnostics, so changing them breaks
+// golden output downstream.
+TEST(Pragma, RejectionMessagesArePinned) {
+  auto message = [](std::string_view text) {
+    auto parsed = parse_pragma(text);
+    EXPECT_FALSE(parsed.is_ok()) << text;
+    return parsed.status().message();
+  };
+  EXPECT_EQ(message("#pragma comm_p2p sender(a) sender(b)"),
+            "duplicate clause 'sender'");
+  EXPECT_EQ(message("#pragma comm_p2p bogus(1)"), "unknown clause 'bogus'");
+  EXPECT_EQ(message("#pragma comm_p2p sbuf()"),
+            "empty argument in clause 'sbuf'");
+  EXPECT_EQ(message("#pragma comm_p2p sbuf(a, , b)"),
+            "empty argument in clause 'sbuf'");
+  EXPECT_EQ(message("#pragma comm_p2p sender"),
+            "clause 'sender' expects '('");
+  EXPECT_EQ(message("#pragma comm_p2p sender(a"),
+            "unbalanced parentheses in clause 'sender'");
+  EXPECT_EQ(message("#pragma comm_p2p sender(a,b)"),
+            "clause 'sender' has 2 arguments, expected 1");
+  EXPECT_EQ(message("#pragma comm_p2p place_sync(END_PARAM_REGION)"),
+            "place_sync may only be used with comm_parameters");
+  EXPECT_EQ(message("#pragma comm_p2p sendwhen(rank==0)"),
+            "sendwhen and receivewhen must both be present or both be "
+            "omitted");
+  EXPECT_EQ(message("#pragma omp parallel"),
+            "expected 'comm_parameters', 'comm_p2p' or 'comm_collective', "
+            "got 'omp parallel'");
+}
+
+TEST(Pragma, ClauseOffsetsPointAtClauseNames) {
+  const std::string_view text =
+      "#pragma comm_p2p sender(rank-1) receiver(rank+1) sbuf(a) rbuf(b)";
+  auto parsed = parse_pragma(text);
+  ASSERT_TRUE(parsed.is_ok());
+  for (const auto& clause : parsed.value().clauses) {
+    ASSERT_LT(clause.offset, text.size());
+    EXPECT_EQ(text.substr(clause.offset, clause.name.size()), clause.name);
+  }
+}
+
 TEST(Pragma, ClausesFromParsedBindsBuffers) {
   double b1[8] = {};
   double b2[8] = {};

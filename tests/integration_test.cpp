@@ -3,6 +3,7 @@
 // against miniMPI/miniSHMEM -> run -> verify output. This is the end-to-end
 // path the paper's Open64 implementation provides.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +22,10 @@
 #endif
 #ifndef CID_CXX_COMPILER
 #define CID_CXX_COMPILER "g++"
+#endif
+// Extra flags matching the build configuration (sanitizers, notably).
+#ifndef CID_EXTRA_CXX_FLAGS
+#define CID_EXTRA_CXX_FLAGS ""
 #endif
 
 namespace {
@@ -52,10 +57,11 @@ int compile(const std::string& source_path, const std::string& binary_path,
                            CID_BINARY_DIR + "/src/obs/libcid_obs.a " +
                            CID_BINARY_DIR + "/src/simnet/libcid_simnet.a " +
                            CID_BINARY_DIR + "/src/common/libcid_common.a";
-  const std::string command = std::string(CID_CXX_COMPILER) +
-                              " -std=c++20 -I" + CID_SOURCE_DIR + "/src -o '" +
-                              binary_path + "' '" + source_path + "' " + libs +
-                              " -lpthread 2>'" + binary_path + ".log'";
+  const std::string command = std::string(CID_CXX_COMPILER) + " -std=c++20 " +
+                              CID_EXTRA_CXX_FLAGS + " -I" + CID_SOURCE_DIR +
+                              "/src -o '" + binary_path + "' '" + source_path +
+                              "' " + libs + " -lpthread 2>'" + binary_path +
+                              ".log'";
   const int status = std::system(command.c_str());
   if (log != nullptr) {
     std::ifstream in(binary_path + ".log");
@@ -298,6 +304,30 @@ TEST(TranslatorPipeline, CidtCheckMode) {
             0);
   // Check mode writes no output file.
   EXPECT_NE(std::system(("test -f '" + dir + "/check_ok.out'").c_str()), 0);
+}
+
+// The exit-code contract of the CLI: 0 clean, 1 findings, 2 usage error,
+// 3 I/O error — what the CI lint job keys on.
+TEST(TranslatorPipeline, CidtCheckSubcommandExitCodes) {
+  const std::string dir = temp_dir();
+  write_file(dir + "/lint_clean.cpp", kRingProgram);
+  write_file(dir + "/lint_bad.cpp",
+             "#pragma comm_p2p sender(rank-1) receiver(rank+1) sbuf(a) "
+             "rbuf(b)\n{ }\n");
+  const std::string cidt = std::string(CID_BINARY_DIR) + "/tools/cidt";
+  auto run = [](const std::string& command) {
+    const int status = std::system((command + " >/dev/null 2>&1").c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  };
+  EXPECT_EQ(run("'" + cidt + "' check '" + dir + "/lint_clean.cpp'"), 0);
+  EXPECT_EQ(run("'" + cidt + "' check '" + dir + "/lint_bad.cpp'"), 1);
+  EXPECT_EQ(run("'" + cidt + "' check"), 2);
+  EXPECT_EQ(run("'" + cidt + "' check --bogus-flag x.cpp"), 2);
+  EXPECT_EQ(run("'" + cidt + "' check '" + dir + "/does_not_exist.cpp'"), 3);
+  // --json emits the machine-readable document on stdout.
+  EXPECT_EQ(run("'" + cidt + "' check --json '" + dir + "/lint_bad.cpp' | "
+                "grep -q '\"cidlint\":1'"),
+            0);
 }
 
 }  // namespace

@@ -1,44 +1,132 @@
-// cidt — the communication-intent directive translator CLI.
+// cidt — the communication-intent directive tool.
 //
-// Usage:
-//   cidt [options] input.cpp
-//     -o <file>          write output here (default: stdout)
-//     --target <name>    default target for directives without a target
-//                        clause: mpi2side (default) | mpi1side | shmem
-//     --comm <expr>      communicator expression for generated MPI calls
-//     --no-annotate      suppress explanatory comments
-//     --summary          print a translation summary to stderr
-//     --check            validate the directives only (no output); exit 0
-//                        when every directive is well-formed
+// Subcommands:
+//   cidt [options] input.cpp      source-to-source translation (the default)
+//   cidt check [options] files…   static directive verification (cidlint)
+//   cidt trace <verb> …           trace-file reports
 //
-//   cidt trace summarize <trace.json>       per-phase / per-site report
-//   cidt trace diff <a.json> <b.json>       compare two traces; exit 1 when
-//                                           they differ
-//   cidt trace export <trace.json> [-o f]   spans as CSV
-//
-// Trace files are the Chrome trace-event JSON written by CID_TRACE_OUT=...
-// or core::TraceCollector::write_chrome_json.
+// Exit codes, shared by every subcommand:
+//   0  success / no findings
+//   1  findings: diagnostics reported, translation rejected, traces differ
+//   2  usage error (unknown option, missing operand)
+//   3  I/O error (unreadable input, unwritable output)
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "analyze/analyze.hpp"
 #include "obs/trace_read.hpp"
 #include "obs/trace_tool.hpp"
 #include "translate/translator.hpp"
 
 namespace {
 
+constexpr int kExitClean = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitIo = 3;
+
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [-o out.cpp] [--check] [--target mpi2side|mpi1side|shmem] "
-               "[--comm <expr>] [--no-annotate] [--summary] input.cpp\n"
-               "       %s trace summarize <trace.json>\n"
-               "       %s trace diff <a.json> <b.json>\n"
-               "       %s trace export <trace.json> [-o out.csv]\n",
-               argv0, argv0, argv0, argv0);
-  return 2;
+  std::fprintf(
+      stderr,
+      "usage: %s [-o out.cpp] [--check] [--target mpi2side|mpi1side|shmem]\n"
+      "            [--comm <expr>] [--no-annotate] [--summary] input.cpp\n"
+      "       %s check [--json] [--sweep MIN..MAX] file.cpp...\n"
+      "       %s trace summarize <trace.json>\n"
+      "       %s trace diff <a.json> <b.json>\n"
+      "       %s trace export <trace.json> [-o out.csv]\n"
+      "\n"
+      "subcommands:\n"
+      "  (default)  translate directive pragmas to message passing code;\n"
+      "             --check validates the directives without writing output\n"
+      "  check      static analysis: match/race/sync/type diagnostics\n"
+      "             (documented in docs/ANALYSIS.md); exits 1 when any\n"
+      "             diagnostic is reported\n"
+      "  trace      summarize, diff or export Chrome trace-event files\n"
+      "             written via CID_TRACE_OUT\n",
+      argv0, argv0, argv0, argv0, argv0);
+  return kExitUsage;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+/// `cidt check`: run the analyzer over each file, render human or JSON
+/// output, exit nonzero when anything was found.
+int check_main(int argc, char** argv) {
+  bool json = false;
+  cid::analyze::Options options;
+  std::vector<std::string> paths;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--sweep" && i + 1 < argc) {
+      const std::string range = argv[++i];
+      const std::size_t dots = range.find("..");
+      int low = 0;
+      int high = 0;
+      if (dots == std::string::npos ||
+          std::sscanf(range.c_str(), "%d..%d", &low, &high) != 2 ||
+          low < 1 || high < low) {
+        std::fprintf(stderr, "cidt: bad --sweep range '%s' (want MIN..MAX)\n",
+                     range.c_str());
+        return usage(argv[0]);
+      }
+      options.nprocs_min = low;
+      options.nprocs_max = high;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "cidt: unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "cidt: check needs at least one input file\n");
+    return usage(argv[0]);
+  }
+
+  std::vector<cid::analyze::FileReport> files;
+  for (const std::string& path : paths) {
+    std::string source;
+    if (!read_file(path, source)) {
+      std::fprintf(stderr, "cidt: cannot read '%s'\n", path.c_str());
+      return kExitIo;
+    }
+    files.push_back({path, cid::analyze::analyze_source(source, options)});
+  }
+
+  int errors = 0;
+  int warnings = 0;
+  int directives = 0;
+  for (const auto& file : files) {
+    errors += file.report.errors();
+    warnings += file.report.warnings();
+    directives += file.report.directives_checked;
+  }
+
+  if (json) {
+    std::fputs(cid::analyze::to_json(files).c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    for (const auto& file : files) cid::analyze::print_human(file, std::cout);
+    std::fprintf(stderr,
+                 "cidt check: %zu file(s), %d directive(s), %d error(s), "
+                 "%d warning(s)\n",
+                 files.size(), directives, errors, warnings);
+  }
+  return (errors + warnings) == 0 ? kExitClean : kExitFindings;
 }
 
 int trace_main(int argc, char** argv) {
@@ -57,47 +145,42 @@ int trace_main(int argc, char** argv) {
   if (verb == "summarize") {
     if (argc != 4) return usage(argv[0]);
     auto trace = load(argv[3]);
-    if (!trace.is_ok()) return 1;
+    if (!trace.is_ok()) return kExitIo;
     cid::obs::summarize_trace(trace.value(), std::cout);
-    return 0;
+    return kExitClean;
   }
   if (verb == "diff") {
     if (argc != 5) return usage(argv[0]);
     auto lhs = load(argv[3]);
     auto rhs = load(argv[4]);
-    if (!lhs.is_ok() || !rhs.is_ok()) return 2;
+    if (!lhs.is_ok() || !rhs.is_ok()) return kExitIo;
     const bool identical =
         cid::obs::diff_traces(lhs.value(), rhs.value(), std::cout);
-    return identical ? 0 : 1;
+    return identical ? kExitClean : kExitFindings;
   }
   if (verb == "export") {
     if (argc != 4 && !(argc == 6 && std::string(argv[4]) == "-o")) {
       return usage(argv[0]);
     }
     auto trace = load(argv[3]);
-    if (!trace.is_ok()) return 1;
+    if (!trace.is_ok()) return kExitIo;
     if (argc == 6) {
       std::ofstream out(argv[5]);
       if (!out) {
         std::fprintf(stderr, "cidt: cannot write '%s'\n", argv[5]);
-        return 1;
+        return kExitIo;
       }
       cid::obs::export_csv(trace.value(), out);
     } else {
       cid::obs::export_csv(trace.value(), std::cout);
     }
-    return 0;
+    return kExitClean;
   }
   std::fprintf(stderr, "cidt: unknown trace verb '%s'\n", verb.c_str());
   return usage(argv[0]);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc >= 2 && std::string(argv[1]) == "trace") {
-    return trace_main(argc, argv);
-  }
+int translate_main(int argc, char** argv) {
   std::string input_path;
   std::string output_path;
   bool print_summary = false;
@@ -139,18 +222,16 @@ int main(int argc, char** argv) {
   }
   if (input_path.empty()) return usage(argv[0]);
 
-  std::ifstream in(input_path);
-  if (!in) {
+  std::string source;
+  if (!read_file(input_path, source)) {
     std::fprintf(stderr, "cidt: cannot read '%s'\n", input_path.c_str());
-    return 1;
+    return kExitIo;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
 
-  auto result = cid::translate::translate_source(buffer.str(), options);
+  auto result = cid::translate::translate_source(source, options);
   if (!result.is_ok()) {
     std::fprintf(stderr, "cidt: %s\n", result.status().to_string().c_str());
-    return 1;
+    return kExitFindings;
   }
 
   if (check_only) {
@@ -160,7 +241,7 @@ int main(int argc, char** argv) {
                  "region(s), %d reliable\n",
                  summary.p2p_directives, summary.parameter_regions,
                  summary.reliable_regions);
-    return 0;
+    return kExitClean;
   }
 
   if (output_path.empty()) {
@@ -169,7 +250,7 @@ int main(int argc, char** argv) {
     std::ofstream out(output_path);
     if (!out) {
       std::fprintf(stderr, "cidt: cannot write '%s'\n", output_path.c_str());
-      return 1;
+      return kExitIo;
     }
     out << result.value().source;
   }
@@ -183,5 +264,17 @@ int main(int argc, char** argv) {
                  summary.p2p_directives, summary.parameter_regions,
                  summary.reliable_regions, summary.consolidated_syncs);
   }
-  return 0;
+  return kExitClean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "trace") {
+    return trace_main(argc, argv);
+  }
+  if (argc >= 2 && std::string(argv[1]) == "check") {
+    return check_main(argc, argv);
+  }
+  return translate_main(argc, argv);
 }

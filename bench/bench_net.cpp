@@ -1,0 +1,336 @@
+// bench_net - WALL-CLOCK cost of the transport backends.
+//
+// The figure benches measure virtual time; this bench measures what the
+// transport seam itself costs on the host: how fast envelopes move when a
+// messenger thread (thread backend) or a socket pair (tcp backend) carries
+// them, against the in-process simulator baseline.
+//
+// Workloads (each on sim and thread; ping-pong also on tcp over loopback):
+//   pingpong_*   2 ranks bouncing one small envelope N times; reports
+//                round trips per second (latency = 1/value).
+//   stream_*     1 sender streams N envelopes to 1 receiver draining
+//                concurrently; reports envelopes per second (throughput
+//                through the messenger / direct-push path).
+//   halo_*       8 ranks exchange with both ring neighbours then barrier,
+//                I iterations; reports iterations per second (the halo2d
+//                communication skeleton without the compute).
+//
+// The tcp ping-pong forks a second process and speaks real sockets on
+// 127.0.0.1; it is skipped (with a note) when loopback is unavailable.
+//
+// Emits BENCH_net.json (override with --out FILE); --quick or
+// CID_BENCH_QUICK=1 shrinks the iteration counts.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "net/sim_transport.hpp"
+#include "net/tcp_transport.hpp"
+#include "net/thread_transport.hpp"
+#include "rt/runtime.hpp"
+
+namespace {
+
+using namespace cid;
+using rt::RankCtx;
+using simnet::MachineModel;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct WorkloadResult {
+  std::string name;
+  std::string unit;      ///< what `value` measures (higher is better)
+  double value = 0.0;
+  double seconds = 0.0;  ///< wall time of the measured section
+  std::uint64_t items = 0;
+};
+
+rt::Envelope make_envelope(int src, int tag, std::uint32_t value) {
+  rt::Envelope e;
+  e.src = src;
+  e.tag = tag;
+  e.payload = rt::Payload(copy_to_buffer(as_bytes_of(value)));
+  return e;
+}
+
+std::shared_ptr<net::Transport> make_backend(const std::string& which) {
+  if (which == "thread") return std::make_shared<net::ThreadTransport>();
+  return std::make_shared<net::SimTransport>();
+}
+
+// ---------------------------------------------------------------------------
+// In-process workloads (sim / thread)
+// ---------------------------------------------------------------------------
+
+/// One envelope bounces rank 0 <-> rank 1 `rounds` times.
+WorkloadResult pingpong(const std::string& backend, int rounds) {
+  double elapsed = 0.0;
+  rt::RunOptions options;
+  options.transport = make_backend(backend);
+  rt::run(
+      2, MachineModel::zero(),
+      [&](RankCtx& ctx) {
+        rt::MatchKey key;
+        key.src = 1 - ctx.rank();
+        key.tag = 1;
+        ctx.barrier();
+        const auto start = Clock::now();
+        for (int i = 0; i < rounds; ++i) {
+          if (ctx.rank() == 0) {
+            ctx.world().deliver(1, make_envelope(0, 1, 0));
+            (void)ctx.mailbox().wait_extract(key);
+          } else {
+            (void)ctx.mailbox().wait_extract(key);
+            ctx.world().deliver(0, make_envelope(1, 1, 0));
+          }
+        }
+        if (ctx.rank() == 0) elapsed = seconds_since(start);
+      },
+      options);
+  WorkloadResult out;
+  out.name = "pingpong_" + backend;
+  out.unit = "roundtrips_per_sec";
+  out.items = static_cast<std::uint64_t>(rounds);
+  out.seconds = elapsed;
+  out.value = static_cast<double>(rounds) / elapsed;
+  return out;
+}
+
+/// Rank 1 streams `n` envelopes; rank 0 drains them concurrently.
+WorkloadResult stream(const std::string& backend, int n) {
+  double elapsed = 0.0;
+  rt::RunOptions options;
+  options.transport = make_backend(backend);
+  rt::run(
+      2, MachineModel::zero(),
+      [&](RankCtx& ctx) {
+        ctx.barrier();
+        if (ctx.rank() == 1) {
+          for (int i = 0; i < n; ++i) {
+            ctx.world().deliver(0, make_envelope(1, 2,
+                                                 static_cast<std::uint32_t>(i)));
+          }
+          return;
+        }
+        rt::MatchKey key;
+        key.src = 1;
+        key.tag = 2;
+        const auto start = Clock::now();
+        for (int i = 0; i < n; ++i) (void)ctx.mailbox().wait_extract(key);
+        elapsed = seconds_since(start);
+      },
+      options);
+  WorkloadResult out;
+  out.name = "stream_" + backend;
+  out.unit = "envelopes_per_sec";
+  out.items = static_cast<std::uint64_t>(n);
+  out.seconds = elapsed;
+  out.value = static_cast<double>(n) / elapsed;
+  return out;
+}
+
+/// 8 ranks: send to both ring neighbours, receive from both, barrier;
+/// `iters` iterations — the halo2d exchange skeleton without the compute.
+WorkloadResult halo(const std::string& backend, int iters) {
+  constexpr int kRanks = 8;
+  double elapsed = 0.0;
+  rt::RunOptions options;
+  options.transport = make_backend(backend);
+  rt::run(
+      kRanks, MachineModel::zero(),
+      [&](RankCtx& ctx) {
+        const int next = (ctx.rank() + 1) % kRanks;
+        const int prev = (ctx.rank() + kRanks - 1) % kRanks;
+        rt::MatchKey from_next;
+        from_next.src = next;
+        from_next.tag = 3;
+        rt::MatchKey from_prev;
+        from_prev.src = prev;
+        from_prev.tag = 3;
+        ctx.barrier();
+        const auto start = Clock::now();
+        for (int i = 0; i < iters; ++i) {
+          ctx.world().deliver(next, make_envelope(ctx.rank(), 3, 0));
+          ctx.world().deliver(prev, make_envelope(ctx.rank(), 3, 0));
+          (void)ctx.mailbox().wait_extract(from_next);
+          (void)ctx.mailbox().wait_extract(from_prev);
+          ctx.barrier();
+        }
+        if (ctx.rank() == 0) elapsed = seconds_since(start);
+      },
+      options);
+  WorkloadResult out;
+  out.name = "halo_" + backend;
+  out.unit = "iters_per_sec";
+  out.items = static_cast<std::uint64_t>(iters);
+  out.seconds = elapsed;
+  out.value = static_cast<double>(iters) / elapsed;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TCP loopback ping-pong (two real processes)
+// ---------------------------------------------------------------------------
+
+bool loopback_available() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  const bool ok =
+      ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0;
+  ::close(fd);
+  return ok;
+}
+
+/// Rank 0 (this process) and rank 1 (a forked child) bounce one envelope
+/// over real loopback sockets. Returns false when the bench had to be
+/// skipped (no loopback / fork failure).
+bool pingpong_tcp(int rounds, WorkloadResult& out) {
+  if (!loopback_available()) return false;
+  const auto base = static_cast<std::uint16_t>(23000 + (::getpid() % 20000));
+  net::TcpConfig config;
+  config.peers = {{"127.0.0.1", base},
+                  {"127.0.0.1", static_cast<std::uint16_t>(base + 1)}};
+
+  const auto program = [rounds](RankCtx& ctx) {
+    rt::MatchKey key;
+    key.src = 1 - ctx.rank();
+    key.tag = 4;
+    ctx.barrier();
+    for (int i = 0; i < rounds; ++i) {
+      if (ctx.rank() == 0) {
+        ctx.world().deliver(1, make_envelope(0, 4, 0));
+        (void)ctx.mailbox().wait_extract(key);
+      } else {
+        (void)ctx.mailbox().wait_extract(key);
+        ctx.world().deliver(0, make_envelope(1, 4, 0));
+      }
+    }
+    ctx.barrier();
+  };
+
+  const pid_t child = ::fork();
+  if (child < 0) return false;
+  if (child == 0) {
+    int code = 0;
+    try {
+      rt::RunOptions options;
+      config.proc = 1;
+      options.transport = std::make_shared<net::TcpTransport>(config);
+      rt::run(2, MachineModel::zero(), program, options);
+    } catch (...) {
+      code = 1;
+    }
+    std::_Exit(code);
+  }
+  double elapsed = 0.0;
+  try {
+    rt::RunOptions options;
+    config.proc = 0;
+    options.transport = std::make_shared<net::TcpTransport>(config);
+    const auto start = Clock::now();
+    rt::run(2, MachineModel::zero(), program, options);
+    elapsed = seconds_since(start);
+  } catch (...) {
+    ::waitpid(child, nullptr, 0);
+    return false;
+  }
+  int status = -1;
+  ::waitpid(child, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) return false;
+  out.name = "pingpong_tcp";
+  out.unit = "roundtrips_per_sec";
+  out.items = static_cast<std::uint64_t>(rounds);
+  // Includes the rendezvous + teardown barriers; with hundreds of rounds
+  // the per-round socket cost dominates, which is the number we want.
+  out.seconds = elapsed;
+  out.value = static_cast<double>(rounds) / elapsed;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+void write_json(const std::string& path,
+                const std::vector<WorkloadResult>& results, bool quick,
+                bool tcp_skipped) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"net\",\n  \"kind\": \"wall_clock\",\n";
+  out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  out << "  \"tcp_skipped\": " << (tcp_skipped ? "true" : "false") << ",\n";
+  out << "  \"workloads\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    char buffer[512];
+    std::snprintf(buffer, sizeof(buffer),
+                  "    {\"name\": \"%s\", \"unit\": \"%s\", \"value\": %.1f, "
+                  "\"seconds\": %.6f, \"items\": %llu}",
+                  r.name.c_str(), r.unit.c_str(), r.value, r.seconds,
+                  static_cast<unsigned long long>(r.items));
+    out << buffer << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = cid::bench::quick_mode(argc, argv);
+  std::string out_path = "BENCH_net.json";
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
+  }
+
+  const int pp_rounds = quick ? 2000 : 20000;
+  const int stream_n = quick ? 20000 : 200000;
+  const int halo_iters = quick ? 500 : 5000;
+  const int tcp_rounds = quick ? 200 : 2000;
+
+  cid::bench::print_header(
+      "bench_net - wall-clock transport backend cost",
+      "round trips, streamed envelopes and halo iterations per second");
+  std::printf("(HOST wall-clock time - machine-dependent, not virtual)\n\n");
+
+  std::vector<WorkloadResult> results;
+  for (const char* backend : {"sim", "thread"}) {
+    results.push_back(pingpong(backend, pp_rounds));
+    results.push_back(stream(backend, stream_n));
+    results.push_back(halo(backend, halo_iters));
+  }
+  WorkloadResult tcp;
+  const bool tcp_ok = pingpong_tcp(tcp_rounds, tcp);
+  if (tcp_ok) {
+    results.push_back(tcp);
+  } else {
+    std::printf("pingpong_tcp: skipped (no loopback networking)\n");
+  }
+
+  cid::bench::print_row({"workload", "items", "seconds", "throughput"});
+  for (const auto& r : results) {
+    char value[64];
+    std::snprintf(value, sizeof(value), "%.3g %s", r.value, r.unit.c_str());
+    char secs[32];
+    std::snprintf(secs, sizeof(secs), "%.4f", r.seconds);
+    cid::bench::print_row({r.name, std::to_string(r.items), secs, value}, 24);
+  }
+  write_json(out_path, results, quick, !tcp_ok);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -11,6 +11,18 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed) noexcept { reseed(seed); }
 
+  /// Independent per-rank stream of a shared base seed. SPMD programs on
+  /// the wall-clock transports run ranks on real cores, so sharing one Rng
+  /// across ranks is a data race AND non-deterministic; one stream per rank
+  /// is both safe and reproducible regardless of thread interleaving. The
+  /// splitmix64 seed expansion decorrelates the streams even for adjacent
+  /// ranks of the same base seed.
+  static Rng for_rank(std::uint64_t base_seed, int rank) noexcept {
+    // Golden-ratio stride keeps rank offsets far apart in seed space.
+    return Rng(base_seed +
+               0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(rank + 1));
+  }
+
   void reseed(std::uint64_t seed) noexcept {
     // splitmix64 expansion of the seed into the xoshiro state.
     std::uint64_t x = seed;

@@ -4,11 +4,15 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <limits>
+#include <optional>
 #include <sstream>
 #include <tuple>
 
 #include "core/exec_state.hpp"
 #include "core/trace.hpp"
+#include "net/backend.hpp"
+#include "net/transport.hpp"
 #include "rt/envelope.hpp"
 #include "rt/mailbox.hpp"
 
@@ -70,6 +74,7 @@ struct SendProgress {
   int attempt = 0;                        ///< attempt currently in flight
   simnet::SimTime attempt_sent_at = 0.0;  ///< its injection-complete time
   simnet::SimTime t = 0.0;
+  double wall_sent_at = 0.0;  ///< wall clock of the attempt (real-loss path)
   bool done = false;  ///< acked or abandoned (FIN sent either way)
 };
 
@@ -166,9 +171,106 @@ void run_reliable_epoch(ExecState& state, PendingOps& ops) {
                        [](const RecvProgress& rp) { return !rp.finished; });
   };
 
+  // On real-loss transports (tcp) a dropped message leaves no tombstone:
+  // the sender detects loss by the *absence* of an ack within a wall-clock
+  // deadline instead of by deterministic tombstone evidence. Virtual
+  // timeouts map to wall seconds via CID_NET_TIMEOUT_SCALE.
+  const net::Transport* transport = ctx.world().transport();
+  const bool real_loss = transport != nullptr && transport->real_loss();
+  const double wall_scale = real_loss ? net::timeout_scale_from_env() : 0.0;
+  if (real_loss) {
+    const double now = net::wall_seconds();
+    for (SendProgress& sp : sends) sp.wall_sent_at = now;
+  }
+  const auto virtual_deadline = [](const SendProgress& sp) {
+    return sp.attempt_sent_at + sp.op->timeout * std::ldexp(1.0, sp.attempt);
+  };
+  const auto wall_deadline = [&](const SendProgress& sp) {
+    return sp.wall_sent_at +
+           sp.op->timeout * std::ldexp(1.0, sp.attempt) * wall_scale;
+  };
+
+  // The retransmission timer fired for `sp` at virtual time `fired`:
+  // abandon the transfer past max_retries, otherwise re-inject the payload
+  // as the next attempt. Shared by the tombstone/nack path (sim, thread)
+  // and the wall-clock timeout path (tcp).
+  const auto fire_send_timeout = [&](SendProgress& sp, simnet::SimTime fired) {
+    ++state.stats.timeouts;
+    if (trace) {
+      record_trace_event({TraceEventKind::Timeout, self, sp.attempt_sent_at,
+                          fired, sp.op->site, 0, 0});
+    }
+    sp.t = std::max(sp.t, fired);
+    if (sp.attempt >= sp.op->max_retries) {
+      sp.done = true;
+      ++state.stats.undelivered_pairs;
+      state.delivery_report.lost.push_back(
+          {sp.op->site, sp.op->pair_index, sp.op->dest, sp.op->transfer_id,
+           /*sender_side=*/true, sp.attempt + 1});
+      emit(sp.op->dest, sp.op->transfer_id, kReliableFinCtx, {}, sp.t);
+      return;
+    }
+    ++sp.attempt;
+    // payload holds the prefixed attempt-0 buffer; the wire bytes follow
+    // the attempt header.
+    const cid::ByteSpan wire =
+        sp.op->payload.span().subspan(kAttemptHeaderBytes);
+    const std::size_t bytes = wire.size();
+    const simnet::SimTime injection_start = sp.t;
+    sp.t += costs.send_overhead + costs.per_message_gap +
+            static_cast<simnet::SimTime>(bytes) /
+                costs.injection_bytes_per_second;
+    const simnet::SimTime delivery =
+        std::max(costs.delivery_time(injection_start, bytes),
+                 sp.t + costs.latency);
+    rt::Envelope data;
+    data.src = self;
+    data.tag = sp.op->transfer_id;
+    data.channel = rt::Channel::Internal;
+    data.context = kReliableDataCtx;
+    data.payload = rt::Payload(
+        make_data_payload(static_cast<std::uint32_t>(sp.attempt), wire));
+    data.available_at = delivery;
+    ctx.world().deliver(sp.op->dest, std::move(data));
+    sp.attempt_sent_at = sp.t;
+    sp.wall_sent_at = net::wall_seconds();
+    if (bytes > costs.eager_threshold_bytes) sp.t = delivery;
+    ++state.stats.retransmits;
+    if (trace) {
+      record_trace_event({TraceEventKind::Retransmit, self, injection_start,
+                          delivery, sp.op->site, bytes, 1});
+    }
+  };
+
   while (open()) {
     const std::vector<rt::MatchKey> keys = relevant_keys();
-    rt::Envelope e = ctx.mailbox().wait_extract(keys);
+    std::optional<rt::Envelope> extracted;
+    if (real_loss) {
+      // Earliest ack deadline among the in-flight sends bounds the wait.
+      double earliest = std::numeric_limits<double>::infinity();
+      for (const SendProgress& sp : sends) {
+        if (!sp.done) earliest = std::min(earliest, wall_deadline(sp));
+      }
+      if (std::isfinite(earliest)) {
+        extracted = ctx.mailbox().wait_extract_for(
+            keys, earliest - net::wall_seconds());
+        if (!extracted) {
+          const double now = net::wall_seconds();
+          for (SendProgress& sp : sends) {
+            if (!sp.done && now >= wall_deadline(sp)) {
+              fire_send_timeout(sp, virtual_deadline(sp));
+            }
+          }
+          continue;
+        }
+      } else {
+        // Only receives are open; the senders drive all the timers.
+        extracted = ctx.mailbox().wait_extract(keys);
+      }
+    } else {
+      extracted = ctx.mailbox().wait_extract(keys);
+    }
+    rt::Envelope e = std::move(*extracted);
 
     if (e.context == kReliableCtlCtx) {
       auto it = std::find_if(sends.begin(), sends.end(),
@@ -197,53 +299,7 @@ void run_reliable_epoch(ExecState& state, PendingOps& ops) {
       // A nack for the current attempt, or a tombstoned response: the
       // retransmission timer fires. Loss can only be observed once its
       // evidence has arrived, hence the max with the tombstone/nack time.
-      const simnet::SimTime deadline =
-          sp.attempt_sent_at + sp.op->timeout * std::ldexp(1.0, sp.attempt);
-      const simnet::SimTime fired = std::max(e.available_at, deadline);
-      ++state.stats.timeouts;
-      if (trace) {
-        record_trace_event({TraceEventKind::Timeout, self, sp.attempt_sent_at,
-                            fired, sp.op->site, 0, 0});
-      }
-      sp.t = std::max(sp.t, fired);
-      if (sp.attempt >= sp.op->max_retries) {
-        sp.done = true;
-        ++state.stats.undelivered_pairs;
-        state.delivery_report.lost.push_back(
-            {sp.op->site, sp.op->pair_index, sp.op->dest, sp.op->transfer_id,
-             /*sender_side=*/true, sp.attempt + 1});
-        emit(sp.op->dest, sp.op->transfer_id, kReliableFinCtx, {}, sp.t);
-        continue;
-      }
-      ++sp.attempt;
-      // payload holds the prefixed attempt-0 buffer; the wire bytes follow
-      // the attempt header.
-      const cid::ByteSpan wire =
-          sp.op->payload.span().subspan(kAttemptHeaderBytes);
-      const std::size_t bytes = wire.size();
-      const simnet::SimTime injection_start = sp.t;
-      sp.t += costs.send_overhead + costs.per_message_gap +
-              static_cast<simnet::SimTime>(bytes) /
-                  costs.injection_bytes_per_second;
-      const simnet::SimTime delivery =
-          std::max(costs.delivery_time(injection_start, bytes),
-                   sp.t + costs.latency);
-      rt::Envelope data;
-      data.src = self;
-      data.tag = sp.op->transfer_id;
-      data.channel = rt::Channel::Internal;
-      data.context = kReliableDataCtx;
-      data.payload = rt::Payload(
-          make_data_payload(static_cast<std::uint32_t>(sp.attempt), wire));
-      data.available_at = delivery;
-      ctx.world().deliver(sp.op->dest, std::move(data));
-      sp.attempt_sent_at = sp.t;
-      if (bytes > costs.eager_threshold_bytes) sp.t = delivery;
-      ++state.stats.retransmits;
-      if (trace) {
-        record_trace_event({TraceEventKind::Retransmit, self, injection_start,
-                            delivery, sp.op->site, bytes, 1});
-      }
+      fire_send_timeout(sp, std::max(e.available_at, virtual_deadline(sp)));
       continue;
     }
 
@@ -290,13 +346,19 @@ void run_reliable_epoch(ExecState& state, PendingOps& ops) {
     }
 
     const std::uint32_t attempt = read_attempt(e.payload.span());
-    if (attempt < static_cast<std::uint32_t>(rp.next_attempt)) {
-      // A fault-duplicated copy of an attempt that was already answered.
-      ++state.stats.duplicates_suppressed;
-      continue;
+    if (!real_loss) {
+      if (attempt < static_cast<std::uint32_t>(rp.next_attempt)) {
+        // A fault-duplicated copy of an attempt that was already answered.
+        ++state.stats.duplicates_suppressed;
+        continue;
+      }
+      CID_ASSERT(attempt == static_cast<std::uint32_t>(rp.next_attempt),
+                 "reliable data attempt from the future");
     }
-    CID_ASSERT(attempt == static_cast<std::uint32_t>(rp.next_attempt),
-               "reliable data attempt from the future");
+    // Under real loss attempt numbers may skip (a lost DATA is simply never
+    // seen) or regress (a late copy overtaken by a retransmission); every
+    // arrival is answered with its own attempt number and the sender
+    // ignores acks of superseded attempts.
     rp.t = std::max(rp.t, e.available_at);
     if (!rp.delivered) {
       const cid::ByteSpan wire(e.payload.data() + kAttemptHeaderBytes,
@@ -319,7 +381,10 @@ void run_reliable_epoch(ExecState& state, PendingOps& ops) {
     // current attempt gets through, so every DATA arrival is answered.
     emit(rp.op->src, rp.op->transfer_id, kReliableCtlCtx,
          make_ctl_payload(attempt, kCtlAck), rp.t);
-    ++rp.next_attempt;
+    rp.next_attempt = real_loss
+                          ? std::max(rp.next_attempt,
+                                     static_cast<int>(attempt) + 1)
+                          : rp.next_attempt + 1;
   }
 
   // Losses were recorded in arrival order, which depends on host scheduling

@@ -42,9 +42,9 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int nranks)
     : plan_(plan), nranks_(nranks) {
   CID_REQUIRE(nranks > 0, ErrorCode::InvalidArgument,
               "FaultInjector requires nranks >= 1");
-  edge_seq_.assign(static_cast<std::size_t>(nranks) *
-                       static_cast<std::size_t>(nranks),
-                   0);
+  // Atomics are neither copyable nor movable, so size the vector in place.
+  edge_seq_ = std::vector<std::atomic<std::uint64_t>>(
+      static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks));
 }
 
 rt::DeliveryVerdict FaultInjector::on_deliver(const rt::Envelope& envelope,
@@ -65,7 +65,7 @@ rt::DeliveryVerdict FaultInjector::on_deliver(const rt::Envelope& envelope,
     auto& seq = edge_seq_[static_cast<std::size_t>(src) *
                               static_cast<std::size_t>(nranks_) +
                           static_cast<std::size_t>(dest_rank)];
-    salt = seq++;
+    salt = seq.fetch_add(1, std::memory_order_relaxed);
   }
 
   const FaultKind fate = plan_.decide(src, dest_rank, salt);

@@ -47,9 +47,13 @@ class FaultInjector final : public rt::DeliveryInterceptor {
  private:
   FaultPlan plan_;
   int nranks_;
-  /// Program-order message counters, one per ordered (src,dst) edge; row src
-  /// is only ever touched by rank src's thread.
-  std::vector<std::uint64_t> edge_seq_;
+  /// Program-order message counters, one per ordered (src,dst) edge. Under
+  /// the simulator row src is only touched by rank src's thread, but the
+  /// wall-clock transports put ranks on real cores, so the counters are
+  /// atomics: determinism still comes from program order on the sending
+  /// rank, the atomicity just makes the single-writer assumption a
+  /// non-issue instead of a latent race.
+  std::vector<std::atomic<std::uint64_t>> edge_seq_;
   std::atomic<std::uint64_t> messages_{0};
   std::atomic<std::uint64_t> drops_{0};
   std::atomic<std::uint64_t> duplicates_{0};

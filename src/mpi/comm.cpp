@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "common/error.hpp"
+#include "net/transport.hpp"
 
 namespace cid::mpi {
 
@@ -99,6 +100,9 @@ Comm Comm::split(int color, int key) const {
   CID_REQUIRE(valid(), ErrorCode::InvalidArgument, "split() on invalid Comm");
   auto& ctx = rt::current_ctx();
   auto& world = ctx.world();
+  // The split negotiation lives in the in-process registry; members hosted
+  // by another process could never contribute their (color, key).
+  world.require_single_process("Comm::split");
   auto reg = registry(world);
 
   const int me = ctx.rank();
@@ -162,6 +166,21 @@ void Comm::barrier() const {
   CID_REQUIRE(is_member(me), ErrorCode::RuntimeFault,
               "barrier() caller is not a member");
   const simnet::SimTime cost = world.model().barrier_cost(members);
+
+  if (world.transport() != nullptr && world.transport()->cross_process()) {
+    if (members == world.nranks()) {
+      // Full-world barrier: same max-reduce + cost arithmetic, and the
+      // world barrier knows how to synchronize across processes.
+      world.barrier(me, cost);
+      return;
+    }
+    for (int member : group_->members) {
+      CID_REQUIRE(world.rank_is_local(member), ErrorCode::UnsupportedTarget,
+                  "sub-communicator barrier spans processes; only "
+                  "process-local sub-groups are supported on the tcp "
+                  "transport");
+    }
+  }
 
   auto reg = registry(world);
   std::unique_lock<std::mutex> lock(world.global_mutex());

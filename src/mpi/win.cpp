@@ -33,6 +33,9 @@ Win Win::create(const Comm& comm, void* base, std::size_t bytes) {
               "Win::create with null base and nonzero size");
   auto& ctx = rt::current_ctx();
   auto& world = ctx.world();
+  // One-sided access loads/stores the target's buffer through a shared
+  // pointer table; that only exists inside one process.
+  world.require_single_process("MPI windows");
 
   // All members call create in the same collective order, so a per-rank
   // sequence number names the same window on every member.

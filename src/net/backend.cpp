@@ -1,0 +1,55 @@
+#include "net/backend.hpp"
+
+#include <chrono>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace cid::net {
+
+std::string_view backend_name(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::Sim: return "sim";
+    case Backend::Thread: return "thread";
+    case Backend::Tcp: return "tcp";
+  }
+  return "unknown";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) noexcept {
+  if (name == "sim") return Backend::Sim;
+  if (name == "thread") return Backend::Thread;
+  if (name == "tcp") return Backend::Tcp;
+  return std::nullopt;
+}
+
+Backend backend_from_env() {
+  const char* value = std::getenv("CID_BACKEND");
+  if (value == nullptr || value[0] == '\0') return Backend::Sim;
+  const auto backend = parse_backend(value);
+  CID_REQUIRE(backend.has_value(), ErrorCode::InvalidArgument,
+              std::string("CID_BACKEND: unknown backend '") + value +
+                  "' (want sim, thread or tcp)");
+  return *backend;
+}
+
+double wall_seconds() noexcept {
+  // One fixed origin per process so spans from different threads line up.
+  static const auto origin = std::chrono::steady_clock::now();
+  const auto elapsed = std::chrono::steady_clock::now() - origin;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+double timeout_scale_from_env() {
+  const char* value = std::getenv("CID_NET_TIMEOUT_SCALE");
+  if (value == nullptr || value[0] == '\0') return 1000.0;
+  char* end = nullptr;
+  const double scale = std::strtod(value, &end);
+  CID_REQUIRE(end != value && *end == '\0' && scale > 0.0,
+              ErrorCode::InvalidArgument,
+              std::string("CID_NET_TIMEOUT_SCALE: bad value '") + value +
+                  "' (want a positive number)");
+  return scale;
+}
+
+}  // namespace cid::net

@@ -1,0 +1,116 @@
+#include "net/doctor.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/backend.hpp"
+#include "net/frame.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace cid::net {
+
+namespace {
+
+/// Try to bind (and immediately release) this process's listen port.
+Status try_bind(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status(ErrorCode::IoError,
+                  std::string("socket() failed: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  const bool ok =
+      ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) == 0;
+  const int bind_errno = errno;
+  ::close(fd);
+  if (!ok) {
+    return Status(ErrorCode::IoError,
+                  std::string("bind failed: ") + std::strerror(bind_errno));
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+int run_net_doctor(std::ostream& out) {
+  int findings = 0;
+  out << "cid net doctor\n";
+
+  // Backend selection.
+  const char* backend_env = std::getenv("CID_BACKEND");
+  try {
+    const Backend backend = backend_from_env();
+    out << "  backend        " << backend_name(backend)
+        << (backend_env == nullptr || *backend_env == '\0'
+                ? " (CID_BACKEND unset, default)"
+                : " (CID_BACKEND)")
+        << "\n";
+  } catch (const CidError& error) {
+    out << "  backend        FINDING: " << error.what() << "\n";
+    ++findings;
+  }
+
+  // Reliability timeout mapping for real-loss transports.
+  try {
+    out << "  timeout scale  " << timeout_scale_from_env()
+        << "x virtual->wall (CID_NET_TIMEOUT_SCALE)\n";
+  } catch (const CidError& error) {
+    out << "  timeout scale  FINDING: " << error.what() << "\n";
+    ++findings;
+  }
+
+  // Frame codec self-test (encode/decode round trip + error paths).
+  const Status frame = frame_self_test();
+  if (frame.is_ok()) {
+    out << "  frame codec    ok (" << kFrameHeaderBytes
+        << "-byte headers round-trip; truncation and unknown types "
+           "rejected)\n";
+  } else {
+    out << "  frame codec    FINDING: " << frame.to_string() << "\n";
+    ++findings;
+  }
+
+  // TCP peer table + bound port.
+  const char* peers_env = std::getenv("CID_NET_PEERS");
+  if (peers_env == nullptr || *peers_env == '\0') {
+    out << "  tcp peers      not configured (CID_NET_PEERS unset; "
+           "sim/thread backends do not need it)\n";
+    return findings;
+  }
+  auto config = tcp_config_from_env();
+  if (!config.is_ok()) {
+    out << "  tcp peers      FINDING: " << config.status().to_string()
+        << "\n";
+    return findings + 1;
+  }
+  const TcpConfig& tcp = config.value();
+  out << "  tcp peers      " << tcp.nprocs() << " process"
+      << (tcp.nprocs() == 1 ? "" : "es") << ", this is proc " << tcp.proc
+      << " (CID_NET_PROC)\n";
+  for (int p = 0; p < tcp.nprocs(); ++p) {
+    out << "    proc " << p << "       " << tcp.peers[p].host << ":"
+        << tcp.peers[p].port << (p == tcp.proc ? "  (self)" : "") << "\n";
+  }
+  const std::uint16_t port = tcp.peers[tcp.proc].port;
+  const Status bound = try_bind(port);
+  if (bound.is_ok()) {
+    out << "  bind :" << port << "    ok (port is free)\n";
+  } else {
+    out << "  bind :" << port << "    FINDING: " << bound.to_string()
+        << "\n";
+    ++findings;
+  }
+  return findings;
+}
+
+}  // namespace cid::net

@@ -1,0 +1,15 @@
+// `cidt net doctor` — preflight diagnosis of the transport configuration:
+// which backend the environment selects, whether the frame codec is
+// healthy, and (when tcp is configured) the peer table and whether this
+// process's port can actually be bound.
+#pragma once
+
+#include <ostream>
+
+namespace cid::net {
+
+/// Run every check, print a human-readable report to `out`, and return the
+/// number of findings (0 = the configuration is runnable as-is).
+int run_net_doctor(std::ostream& out);
+
+}  // namespace cid::net

@@ -1,0 +1,119 @@
+#include "net/frame.hpp"
+
+#include <string>
+
+namespace cid::net {
+
+void put_le_u64(std::byte* out, std::uint64_t value) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::byte>((value >> (8 * i)) & 0xff);
+  }
+}
+
+std::uint64_t get_le_u64(const std::byte* in) noexcept {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(in[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+namespace {
+
+bool known_type(std::uint8_t type) noexcept {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::Hello:
+    case FrameType::Welcome:
+    case FrameType::Payload:
+    case FrameType::BarrierArrive:
+    case FrameType::BarrierRelease:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void encode_frame_header(const FrameHeader& header,
+                         std::array<std::byte, kFrameHeaderBytes>& out)
+    noexcept {
+  put_le_u64(out.data() + 0, header.generation);
+  const std::uint64_t type_word =
+      static_cast<std::uint64_t>(header.type) |
+      (static_cast<std::uint64_t>(header.channel) << 8);
+  put_le_u64(out.data() + 8, type_word);
+  put_le_u64(out.data() + 16, static_cast<std::uint64_t>(header.sender));
+  put_le_u64(out.data() + 24, static_cast<std::uint64_t>(header.receiver));
+  put_le_u64(out.data() + 32, static_cast<std::uint64_t>(header.tag));
+  put_le_u64(out.data() + 40, header.length);
+}
+
+Result<FrameHeader> decode_frame_header(ByteSpan bytes) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    return Status(ErrorCode::InvalidArgument,
+                  "truncated frame header: " + std::to_string(bytes.size()) +
+                      " of " + std::to_string(kFrameHeaderBytes) + " bytes");
+  }
+  const std::uint64_t type_word = get_le_u64(bytes.data() + 8);
+  const auto type_byte = static_cast<std::uint8_t>(type_word & 0xff);
+  if (!known_type(type_byte) || (type_word >> 16) != 0) {
+    return Status(ErrorCode::InvalidArgument,
+                  "unknown frame type word " + std::to_string(type_word));
+  }
+  FrameHeader header;
+  header.generation = get_le_u64(bytes.data() + 0);
+  header.type = static_cast<FrameType>(type_byte);
+  header.channel = static_cast<std::uint8_t>((type_word >> 8) & 0xff);
+  header.sender = static_cast<std::int64_t>(get_le_u64(bytes.data() + 16));
+  header.receiver = static_cast<std::int64_t>(get_le_u64(bytes.data() + 24));
+  header.tag = static_cast<std::int64_t>(get_le_u64(bytes.data() + 32));
+  header.length = get_le_u64(bytes.data() + 40);
+  if (header.length > kMaxFramePayloadBytes) {
+    return Status(ErrorCode::InvalidArgument,
+                  "frame payload length " + std::to_string(header.length) +
+                      " exceeds the " +
+                      std::to_string(kMaxFramePayloadBytes) + "-byte cap");
+  }
+  return header;
+}
+
+Status frame_self_test() {
+  const FrameHeader cases[] = {
+      {0, FrameType::Hello, 0, 1, 0, 0, 0},
+      {7, FrameType::Payload, 2, 3, 5, -1, 4096},
+      {42, FrameType::BarrierArrive, 0, 1, 0, 0, 8},
+      {42, FrameType::BarrierRelease, 0, 0, 3, 0, 8},
+      {1, FrameType::Welcome, 0, 0, 2, -7, 0},
+  };
+  for (const FrameHeader& header : cases) {
+    std::array<std::byte, kFrameHeaderBytes> wire{};
+    encode_frame_header(header, wire);
+    auto decoded = decode_frame_header(ByteSpan(wire.data(), wire.size()));
+    if (!decoded.is_ok()) {
+      return Status(ErrorCode::RuntimeFault,
+                    "frame self-test: decode failed: " +
+                        decoded.status().to_string());
+    }
+    if (!(decoded.value() == header)) {
+      return Status(ErrorCode::RuntimeFault,
+                    "frame self-test: round trip mismatch");
+    }
+  }
+  // The error paths must reject rather than mis-decode.
+  std::array<std::byte, kFrameHeaderBytes> wire{};
+  encode_frame_header(cases[1], wire);
+  if (decode_frame_header(ByteSpan(wire.data(), kFrameHeaderBytes - 1))
+          .is_ok()) {
+    return Status(ErrorCode::RuntimeFault,
+                  "frame self-test: truncated header not rejected");
+  }
+  wire[8] = std::byte{0x77};  // unknown type byte
+  if (decode_frame_header(ByteSpan(wire.data(), wire.size())).is_ok()) {
+    return Status(ErrorCode::RuntimeFault,
+                  "frame self-test: unknown type not rejected");
+  }
+  return Status::ok();
+}
+
+}  // namespace cid::net

@@ -1,0 +1,77 @@
+// Wire framing for the TCP transport, in the style of LAIK's minimpi: every
+// message is a fixed header of six little-endian 64-bit words followed by
+// `length` payload bytes.
+//
+//   { generation, type, sender, receiver, tag, length }
+//
+//   generation  envelope context id (communicator / protocol context) for
+//               payload frames; barrier generation for barrier frames;
+//               expected nranks for the rendezvous handshake
+//   type        low byte: FrameType; byte 1: rt::Channel for payload frames
+//   sender      world rank (payload) or process index (control)
+//   receiver    world rank (payload) or process index (control)
+//   tag         envelope tag as two's-complement int64
+//   length      payload byte count following the header
+//
+// The encoding is byte-order independent: words are serialized byte by byte
+// little-endian, so a big-endian host produces the identical wire image.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace cid::net {
+
+enum class FrameType : std::uint8_t {
+  Hello = 0x01,           ///< rendezvous: proc -> proc 0
+  Welcome = 0x02,         ///< rendezvous reply: proc 0 -> proc
+  Payload = 0xdd,         ///< one rt::Envelope
+  BarrierArrive = 0xaa,   ///< proc -> proc 0, payload = local max clock
+  BarrierRelease = 0xab,  ///< proc 0 -> proc, payload = global max clock
+};
+
+/// Decoded header of one frame.
+struct FrameHeader {
+  std::uint64_t generation = 0;
+  FrameType type = FrameType::Payload;
+  std::uint8_t channel = 0;  ///< rt::Channel for Payload frames
+  std::int64_t sender = 0;
+  std::int64_t receiver = 0;
+  std::int64_t tag = 0;
+  std::uint64_t length = 0;
+
+  bool operator==(const FrameHeader&) const = default;
+};
+
+inline constexpr std::size_t kFrameHeaderBytes = 6 * sizeof(std::uint64_t);
+
+/// Little-endian u64 (de)serialization, byte by byte so the wire image is
+/// identical on big-endian hosts. Shared by the header codec and the frame
+/// body encodings (clock stamps travel as bit-cast u64 words).
+void put_le_u64(std::byte* out, std::uint64_t value) noexcept;
+std::uint64_t get_le_u64(const std::byte* in) noexcept;
+
+/// Largest payload a frame may carry; a decoded length beyond this is
+/// treated as a corrupt header rather than an allocation request.
+inline constexpr std::uint64_t kMaxFramePayloadBytes = 1ull << 32;
+
+/// Serialize `header` into exactly kFrameHeaderBytes at `out`.
+void encode_frame_header(const FrameHeader& header,
+                         std::array<std::byte, kFrameHeaderBytes>& out)
+    noexcept;
+
+/// Decode a header from `bytes`. Fails with InvalidArgument when the buffer
+/// is shorter than a header (truncated frame), carries an unknown frame
+/// type, or declares an absurd payload length.
+Result<FrameHeader> decode_frame_header(ByteSpan bytes);
+
+/// Round-trip a representative set of headers through encode/decode,
+/// including the truncation and unknown-type error paths. Returns Ok when
+/// the framing layer is healthy; used by `cidt net doctor`.
+Status frame_self_test();
+
+}  // namespace cid::net

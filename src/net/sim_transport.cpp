@@ -1,0 +1,19 @@
+#include "net/sim_transport.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "rt/world.hpp"
+
+namespace cid::net {
+
+void SimTransport::attach(rt::World& world) { world_ = &world; }
+
+void SimTransport::deliver(int dest, rt::Envelope envelope) {
+  CID_ASSERT(world_ != nullptr, "SimTransport::deliver before attach()");
+  world_->mailbox(dest).push(std::move(envelope));
+}
+
+void SimTransport::detach() { world_ = nullptr; }
+
+}  // namespace cid::net

@@ -1,0 +1,25 @@
+// SimTransport — the virtual-time simulator behind the transport seam.
+//
+// deliver() pushes the envelope straight into the destination mailbox on
+// the sending rank's thread, exactly as the pre-seam rt::World did; the
+// golden fingerprints in tests/property_test.cpp pin that trace, stats and
+// clock outputs stayed byte-identical.
+#pragma once
+
+#include "net/transport.hpp"
+
+namespace cid::net {
+
+class SimTransport final : public Transport {
+ public:
+  Backend kind() const noexcept override { return Backend::Sim; }
+
+  void attach(rt::World& world) override;
+  void deliver(int dest, rt::Envelope envelope) override;
+  void detach() override;
+
+ private:
+  rt::World* world_ = nullptr;
+};
+
+}  // namespace cid::net

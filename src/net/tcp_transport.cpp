@@ -1,0 +1,550 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "rt/world.hpp"
+
+namespace cid::net {
+
+namespace {
+
+constexpr int kConnectTimeoutMs = 15000;  ///< peer startup grace window
+constexpr int kConnectRetryMs = 50;
+constexpr int kPollTimeoutMs = 50;
+
+std::uint64_t double_bits(double value) noexcept {
+  return std::bit_cast<std::uint64_t>(value);
+}
+
+double bits_double(std::uint64_t bits) noexcept {
+  return std::bit_cast<double>(bits);
+}
+
+/// Write all of `bytes` to `fd`, retrying partial writes and EINTR.
+bool write_exact(int fd, const std::byte* bytes, std::size_t size) noexcept {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n =
+        ::send(fd, bytes + done, size - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read exactly `size` bytes from `fd`; false on EOF or error. Blocking:
+/// called only after poll() reported the fd readable, and senders write
+/// whole frames under a lock, so the remainder of a frame is always on its
+/// way.
+bool read_exact(int fd, std::byte* bytes, std::size_t size) noexcept {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::recv(fd, bytes + done, size - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<TcpConfig> tcp_config_from_env() {
+  const char* peers_env = std::getenv("CID_NET_PEERS");
+  if (peers_env == nullptr || *peers_env == '\0') {
+    return Status(ErrorCode::InvalidArgument,
+                  "CID_BACKEND=tcp requires CID_NET_PEERS "
+                  "(\"host:port,host:port,...\", one entry per process)");
+  }
+  TcpConfig config;
+  std::string_view rest(peers_env);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view entry = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view()
+                                           : rest.substr(comma + 1);
+    const std::size_t colon = entry.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 == entry.size()) {
+      return Status(ErrorCode::InvalidArgument,
+                    "CID_NET_PEERS entry '" + std::string(entry) +
+                        "' is not host:port");
+    }
+    TcpConfig::Peer peer;
+    peer.host = std::string(entry.substr(0, colon));
+    const std::string port_text(entry.substr(colon + 1));
+    char* end = nullptr;
+    const long port = std::strtol(port_text.c_str(), &end, 10);
+    if (end == port_text.c_str() || *end != '\0' || port < 1 ||
+        port > 65535) {
+      return Status(ErrorCode::InvalidArgument,
+                    "CID_NET_PEERS entry '" + std::string(entry) +
+                        "' has an invalid port");
+    }
+    peer.port = static_cast<std::uint16_t>(port);
+    config.peers.push_back(std::move(peer));
+  }
+  const char* proc_env = std::getenv("CID_NET_PROC");
+  if (proc_env == nullptr || *proc_env == '\0') {
+    return Status(ErrorCode::InvalidArgument,
+                  "CID_BACKEND=tcp requires CID_NET_PROC (this process's "
+                  "index into CID_NET_PEERS)");
+  }
+  char* end = nullptr;
+  const long proc = std::strtol(proc_env, &end, 10);
+  if (end == proc_env || *end != '\0' || proc < 0 ||
+      proc >= static_cast<long>(config.peers.size())) {
+    return Status(ErrorCode::InvalidArgument,
+                  "CID_NET_PROC must be an integer in [0, " +
+                      std::to_string(config.peers.size()) + ")");
+  }
+  config.proc = static_cast<int>(proc);
+  return config;
+}
+
+RankRange partition_ranks(int nranks, int nprocs, int proc) noexcept {
+  const int base = nranks / nprocs;
+  const int rem = nranks % nprocs;
+  RankRange range;
+  range.begin = proc * base + std::min(proc, rem);
+  range.count = base + (proc < rem ? 1 : 0);
+  return range;
+}
+
+TcpTransport::TcpTransport(TcpConfig config) : config_(std::move(config)) {
+  CID_REQUIRE(config_.nprocs() > 0, ErrorCode::InvalidArgument,
+              "TcpTransport requires at least one peer");
+  CID_REQUIRE(config_.proc >= 0 && config_.proc < config_.nprocs(),
+              ErrorCode::InvalidArgument,
+              "TcpTransport process index out of range");
+  outbound_.reserve(config_.peers.size());
+  for (std::size_t p = 0; p < config_.peers.size(); ++p) {
+    outbound_.push_back(std::make_unique<Outbound>());
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  if (messenger_.joinable()) {
+    stopping_.store(true, std::memory_order_release);
+    messenger_.join();
+  }
+  close_all_sockets();
+}
+
+int TcpTransport::owner_proc(int rank) const noexcept {
+  // Invert the block partition: walk the (at most nprocs) boundaries.
+  for (int p = 0; p < config_.nprocs(); ++p) {
+    const RankRange range = partition_ranks(nranks_, config_.nprocs(), p);
+    if (rank >= range.begin && rank < range.begin + range.count) return p;
+  }
+  return -1;
+}
+
+void TcpTransport::attach(rt::World& world) {
+  CID_REQUIRE(world_ == nullptr, ErrorCode::RuntimeFault,
+              "TcpTransport is already attached to a world");
+  CID_REQUIRE(world.nranks() >= config_.nprocs(), ErrorCode::InvalidArgument,
+              "tcp backend: more processes (" +
+                  std::to_string(config_.nprocs()) + ") than world ranks (" +
+                  std::to_string(world.nranks()) + ")");
+  world_ = &world;
+  nranks_ = world.nranks();
+  stopping_.store(false, std::memory_order_release);
+
+  // Bind the listen socket for inbound connections from every other proc.
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  CID_REQUIRE(listen_fd_ >= 0, ErrorCode::RuntimeFault,
+              "tcp backend: socket() failed: " +
+                  std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(config_.peers[config_.proc].port);
+  CID_REQUIRE(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0,
+              ErrorCode::RuntimeFault,
+              "tcp backend: cannot bind port " +
+                  std::to_string(config_.peers[config_.proc].port) + ": " +
+                  std::string(std::strerror(errno)));
+  CID_REQUIRE(::listen(listen_fd_, config_.nprocs()) == 0,
+              ErrorCode::RuntimeFault,
+              "tcp backend: listen() failed: " +
+                  std::string(std::strerror(errno)));
+
+  messenger_ = std::thread(&TcpTransport::messenger_main, this);
+
+  // Rendezvous: every proc announces itself to proc 0 with the rank count
+  // it was configured with; proc 0 answers each Hello with a Welcome once
+  // all peers have checked in. Exercises both connection directions.
+  if (config_.nprocs() == 1) return;
+  if (config_.proc != 0) {
+    FrameHeader hello;
+    hello.type = FrameType::Hello;
+    hello.generation = static_cast<std::uint64_t>(nranks_);
+    hello.sender = config_.proc;
+    hello.receiver = 0;
+    hello.length = 0;
+    send_frame(0, hello, ByteSpan());
+    std::unique_lock<std::mutex> lock(control_mutex_);
+    control_cv_.wait(lock, [&] {
+      return welcomed_ || stopping_.load(std::memory_order_acquire);
+    });
+    CID_REQUIRE(welcomed_, ErrorCode::RuntimeFault,
+                "tcp backend: rendezvous aborted before Welcome");
+  } else {
+    {
+      std::unique_lock<std::mutex> lock(control_mutex_);
+      control_cv_.wait(lock, [&] {
+        return hellos_seen_ == config_.nprocs() - 1 ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      CID_REQUIRE(hellos_seen_ == config_.nprocs() - 1,
+                  ErrorCode::RuntimeFault,
+                  "tcp backend: rendezvous aborted before all Hellos");
+    }
+    for (int p = 1; p < config_.nprocs(); ++p) {
+      FrameHeader welcome;
+      welcome.type = FrameType::Welcome;
+      welcome.generation = static_cast<std::uint64_t>(nranks_);
+      welcome.sender = 0;
+      welcome.receiver = p;
+      welcome.length = 0;
+      send_frame(p, welcome, ByteSpan());
+    }
+  }
+}
+
+int TcpTransport::outbound_fd(int proc) {
+  Outbound& out = *outbound_[proc];
+  // Caller must hold out.mutex.
+  if (out.fd >= 0) return out.fd;
+  const TcpConfig::Peer& peer = config_.peers[proc];
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  const std::string port_text = std::to_string(peer.port);
+  CID_REQUIRE(::getaddrinfo(peer.host.c_str(), port_text.c_str(), &hints,
+                            &resolved) == 0 && resolved != nullptr,
+              ErrorCode::RuntimeFault,
+              "tcp backend: cannot resolve peer host '" + peer.host + "'");
+  int fd = -1;
+  // Peers start at different times; retry refused connects for a while.
+  for (int waited_ms = 0;; waited_ms += kConnectRetryMs) {
+    fd = ::socket(resolved->ai_family, resolved->ai_socktype,
+                  resolved->ai_protocol);
+    if (fd >= 0 &&
+        ::connect(fd, resolved->ai_addr, resolved->ai_addrlen) == 0) {
+      break;
+    }
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+    if (waited_ms >= kConnectTimeoutMs) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(kConnectRetryMs));
+  }
+  ::freeaddrinfo(resolved);
+  CID_REQUIRE(fd >= 0, ErrorCode::RuntimeFault,
+              "tcp backend: cannot connect to peer " + peer.host + ":" +
+                  port_text + " within " +
+                  std::to_string(kConnectTimeoutMs) + " ms");
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  out.fd = fd;
+  return fd;
+}
+
+void TcpTransport::send_frame(int proc, const FrameHeader& header,
+                              ByteSpan body) {
+  CID_ASSERT(header.length == body.size(),
+             "tcp backend: frame header length does not match body");
+  std::array<std::byte, kFrameHeaderBytes> wire{};
+  encode_frame_header(header, wire);
+  std::lock_guard<std::mutex> lock(outbound_[proc]->mutex);
+  const int fd = outbound_fd(proc);
+  const bool ok =
+      write_exact(fd, wire.data(), wire.size()) &&
+      (body.empty() || write_exact(fd, body.data(), body.size()));
+  CID_REQUIRE(ok, ErrorCode::RuntimeFault,
+              "tcp backend: send to proc " + std::to_string(proc) +
+                  " failed: " + std::string(std::strerror(errno)));
+  if (obs::enabled()) {
+    obs::count("net.tcp.tx_frames", "net", config_.proc);
+    obs::count("net.tcp.tx_bytes", "net", config_.proc,
+               wire.size() + body.size());
+  }
+}
+
+void TcpTransport::deliver(int dest, rt::Envelope envelope) {
+  CID_ASSERT(world_ != nullptr, "TcpTransport::deliver before attach()");
+  const int proc = owner_proc(dest);
+  CID_REQUIRE(proc >= 0, ErrorCode::InvalidArgument,
+              "tcp backend: deliver destination rank out of range");
+  if (proc == config_.proc) {
+    world_->mailbox(dest).push(std::move(envelope));
+    return;
+  }
+  // Real loss: a dropped envelope never made it onto the wire, so there is
+  // nothing to send (World discards it before calling us).
+  CID_ASSERT(!envelope.faulted,
+             "tcp backend: tombstones must not cross the wire");
+  FrameHeader header;
+  header.type = FrameType::Payload;
+  header.channel = static_cast<std::uint8_t>(envelope.channel);
+  header.generation = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(envelope.context));
+  header.sender = envelope.src;
+  header.receiver = dest;
+  header.tag = envelope.tag;
+  header.length = 8 + envelope.payload.size();
+  ByteBuffer body(header.length);
+  put_le_u64(body.data(), double_bits(envelope.available_at));
+  if (!envelope.payload.empty()) {
+    std::memcpy(body.data() + 8, envelope.payload.data(),
+                envelope.payload.size());
+  }
+  send_frame(proc, header, ByteSpan(body.data(), body.size()));
+}
+
+simnet::SimTime TcpTransport::barrier_sync(simnet::SimTime local_max) {
+  CID_ASSERT(world_ != nullptr, "TcpTransport::barrier_sync before attach()");
+  if (config_.nprocs() == 1) return local_max;
+  std::uint64_t round = 0;
+  {
+    std::lock_guard<std::mutex> lock(control_mutex_);
+    round = barrier_round_++;
+  }
+  std::array<std::byte, 8> body{};
+  if (config_.proc == 0) {
+    // Coordinator: wait for every peer's arrival, fold in our own local
+    // maximum, then release everyone with the global maximum.
+    simnet::SimTime global = local_max;
+    {
+      std::unique_lock<std::mutex> lock(control_mutex_);
+      control_cv_.wait(lock, [&] {
+        return barrier_rounds_[round].arrived == config_.nprocs() - 1 ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      CID_REQUIRE(barrier_rounds_[round].arrived == config_.nprocs() - 1,
+                  ErrorCode::RuntimeFault,
+                  "tcp backend: barrier aborted during shutdown");
+      global = std::max(global, barrier_rounds_[round].max_clock);
+      barrier_rounds_.erase(round);
+    }
+    put_le_u64(body.data(), double_bits(global));
+    for (int p = 1; p < config_.nprocs(); ++p) {
+      FrameHeader release;
+      release.type = FrameType::BarrierRelease;
+      release.generation = round;
+      release.sender = 0;
+      release.receiver = p;
+      release.length = body.size();
+      send_frame(p, release, ByteSpan(body.data(), body.size()));
+    }
+    return global;
+  }
+  put_le_u64(body.data(), double_bits(local_max));
+  FrameHeader arrive;
+  arrive.type = FrameType::BarrierArrive;
+  arrive.generation = round;
+  arrive.sender = config_.proc;
+  arrive.receiver = 0;
+  arrive.length = body.size();
+  send_frame(0, arrive, ByteSpan(body.data(), body.size()));
+  std::unique_lock<std::mutex> lock(control_mutex_);
+  control_cv_.wait(lock, [&] {
+    return barrier_rounds_[round].released ||
+           stopping_.load(std::memory_order_acquire);
+  });
+  CID_REQUIRE(barrier_rounds_[round].released, ErrorCode::RuntimeFault,
+              "tcp backend: barrier aborted during shutdown");
+  const simnet::SimTime global = barrier_rounds_[round].max_clock;
+  barrier_rounds_.erase(round);
+  return global;
+}
+
+void TcpTransport::messenger_main() {
+  std::vector<pollfd> fds;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(inbound_mutex_);
+      for (int fd : inbound_fds_) fds.push_back({fd, POLLIN, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), kPollTimeoutMs);
+    if (ready <= 0) continue;
+    if ((fds[0].revents & POLLIN) != 0) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        std::lock_guard<std::mutex> lock(inbound_mutex_);
+        inbound_fds_.push_back(fd);
+      }
+    }
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      if (!read_one_frame(fds[i].fd)) {
+        ::close(fds[i].fd);
+        std::lock_guard<std::mutex> lock(inbound_mutex_);
+        std::erase(inbound_fds_, fds[i].fd);
+      }
+    }
+  }
+}
+
+bool TcpTransport::read_one_frame(int fd) {
+  std::array<std::byte, kFrameHeaderBytes> wire{};
+  if (!read_exact(fd, wire.data(), wire.size())) return false;
+  auto decoded = decode_frame_header(ByteSpan(wire.data(), wire.size()));
+  if (!decoded.is_ok()) {
+    // A malformed header means the stream is out of sync; drop the
+    // connection rather than guess at a resync point.
+    world_->poison();
+    return false;
+  }
+  const FrameHeader header = decoded.value();
+  ByteBuffer body(header.length);
+  if (header.length > 0 &&
+      !read_exact(fd, body.data(), body.size())) {
+    return false;
+  }
+  if (obs::enabled()) {
+    obs::count("net.tcp.rx_frames", "net", config_.proc);
+    obs::count("net.tcp.rx_bytes", "net", config_.proc,
+               wire.size() + body.size());
+  }
+  switch (header.type) {
+    case FrameType::Hello: {
+      std::lock_guard<std::mutex> lock(control_mutex_);
+      if (header.generation != static_cast<std::uint64_t>(nranks_)) {
+        world_->poison();  // peers disagree on the world size
+        return false;
+      }
+      ++hellos_seen_;
+      control_cv_.notify_all();
+      break;
+    }
+    case FrameType::Welcome: {
+      std::lock_guard<std::mutex> lock(control_mutex_);
+      welcomed_ = true;
+      control_cv_.notify_all();
+      break;
+    }
+    case FrameType::Payload:
+      handle_payload(header, ByteSpan(body.data(), body.size()));
+      break;
+    case FrameType::BarrierArrive: {
+      std::lock_guard<std::mutex> lock(control_mutex_);
+      BarrierRound& round = barrier_rounds_[header.generation];
+      round.arrived += 1;
+      if (body.size() >= 8) {
+        round.max_clock =
+            std::max(round.max_clock, bits_double(get_le_u64(body.data())));
+      }
+      control_cv_.notify_all();
+      break;
+    }
+    case FrameType::BarrierRelease: {
+      std::lock_guard<std::mutex> lock(control_mutex_);
+      BarrierRound& round = barrier_rounds_[header.generation];
+      round.released = true;
+      if (body.size() >= 8) {
+        round.max_clock = bits_double(get_le_u64(body.data()));
+      }
+      control_cv_.notify_all();
+      break;
+    }
+  }
+  return true;
+}
+
+void TcpTransport::handle_payload(const FrameHeader& header, ByteSpan body) {
+  const int dest = static_cast<int>(header.receiver);
+  const RankRange local =
+      partition_ranks(nranks_, config_.nprocs(), config_.proc);
+  if (dest < local.begin || dest >= local.begin + local.count ||
+      body.size() < 8) {
+    world_->poison();  // mis-routed or truncated payload frame
+    return;
+  }
+  rt::Envelope envelope;
+  envelope.src = static_cast<int>(header.sender);
+  envelope.tag = static_cast<int>(header.tag);
+  envelope.channel = static_cast<rt::Channel>(header.channel);
+  envelope.context =
+      static_cast<int>(static_cast<std::int64_t>(header.generation));
+  envelope.available_at = bits_double(get_le_u64(body.data()));
+  if (body.size() > 8) {
+    envelope.payload = rt::Payload::copy_of(body.subspan(8));
+  }
+  world_->mailbox(dest).push(std::move(envelope));
+}
+
+void TcpTransport::interrupt() noexcept {
+  stopping_.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(control_mutex_);
+  control_cv_.notify_all();
+}
+
+void TcpTransport::detach() {
+  if (world_ == nullptr) return;
+  // Flush barrier: nobody closes a socket until every process has finished
+  // its program and written all of its frames. TCP ordering then ensures
+  // every payload frame was received before the release arrived.
+  if (config_.nprocs() > 1 && !world_->poisoned()) {
+    barrier_sync(0.0);
+  }
+  stopping_.store(true, std::memory_order_release);
+  control_cv_.notify_all();
+  if (messenger_.joinable()) messenger_.join();
+  close_all_sockets();
+  world_ = nullptr;
+  nranks_ = 0;
+  hellos_seen_ = 0;
+  welcomed_ = false;
+  barrier_round_ = 0;
+  barrier_rounds_.clear();
+}
+
+void TcpTransport::close_all_sockets() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& out : outbound_) {
+    std::lock_guard<std::mutex> lock(out->mutex);
+    if (out->fd >= 0) {
+      ::close(out->fd);
+      out->fd = -1;
+    }
+  }
+  std::lock_guard<std::mutex> lock(inbound_mutex_);
+  for (int fd : inbound_fds_) ::close(fd);
+  inbound_fds_.clear();
+}
+
+}  // namespace cid::net

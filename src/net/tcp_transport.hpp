@@ -1,0 +1,147 @@
+// TcpTransport — world ranks sharded over OS processes, envelopes carried
+// as framed messages over connection-cached TCP sockets (LAIK minimpi
+// style).
+//
+// Topology. CID_NET_PEERS lists one "host:port" per process, comma
+// separated; CID_NET_PROC is this process's index into that list. The
+// world's ranks are block-partitioned over the processes: with R ranks and
+// P processes, process p hosts floor(R/P) ranks plus one of the first
+// R mod P remainders. Every process runs the same binary with the same
+// RunOptions, so the partition is agreed without negotiation; the
+// rendezvous handshake (Hello/Welcome with proc 0) double-checks the rank
+// count anyway.
+//
+// Connections. Directed: the pair (p -> q) gets its own socket, opened
+// lazily by p on its first send to q and cached for the rest of the run.
+// Outbound writes are serialized per connection by a mutex; inbound frames
+// from every accepted socket are drained by a single messenger thread that
+// polls the listen socket plus all accepted connections.
+//
+// Wire format. Each message is a frame (see net/frame.hpp). For Payload
+// frames the body is the envelope's virtual available_at stamp (8 bytes,
+// IEEE-754 bit pattern little-endian) followed by the payload bytes, so
+// `length` = 8 + payload size. Barrier frames carry the max virtual clock
+// the same way (length = 8).
+//
+// Semantics. wall_time: virtual clocks diverge across processes and are
+// bookkeeping only. real_loss: a fault-layer drop destroys the envelope
+// (no tombstone crosses the wire) — reliability protocols must use
+// wall-clock deadlines (core/reliability.cpp, CID_NET_TIMEOUT_SCALE).
+// cross_process: in-process facilities (shmem heap, MPI windows,
+// communicator split) refuse to start.
+//
+// Shutdown. detach() runs one extra barrier round over the control plane,
+// so every process has flushed all of its sends before anyone closes a
+// socket, then stops the messenger and closes every fd.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/frame.hpp"
+#include "net/transport.hpp"
+#include "rt/envelope.hpp"
+
+namespace cid::net {
+
+/// Parsed CID_NET_PEERS / CID_NET_PROC pair.
+struct TcpConfig {
+  struct Peer {
+    std::string host;
+    std::uint16_t port = 0;
+  };
+  std::vector<Peer> peers;  ///< one per process, index = process id
+  int proc = 0;             ///< this process's index into `peers`
+
+  int nprocs() const noexcept { return static_cast<int>(peers.size()); }
+};
+
+/// Parse CID_NET_PEERS ("host:port,host:port,...") and CID_NET_PROC.
+/// Fails with InvalidArgument when either is missing or malformed.
+Result<TcpConfig> tcp_config_from_env();
+
+/// Rank partition of `nranks` world ranks over `nprocs` processes: process
+/// `proc` hosts [begin, begin + count).
+struct RankRange {
+  int begin = 0;
+  int count = 0;
+};
+RankRange partition_ranks(int nranks, int nprocs, int proc) noexcept;
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TcpConfig config);
+  ~TcpTransport() override;
+
+  Backend kind() const noexcept override { return Backend::Tcp; }
+  bool wall_time() const noexcept override { return true; }
+  bool real_loss() const noexcept override { return true; }
+  bool cross_process() const noexcept override { return true; }
+
+  int local_rank_begin(int nranks) const noexcept override {
+    return partition_ranks(nranks, config_.nprocs(), config_.proc).begin;
+  }
+  int local_rank_count(int nranks) const noexcept override {
+    return partition_ranks(nranks, config_.nprocs(), config_.proc).count;
+  }
+
+  void attach(rt::World& world) override;
+  void deliver(int dest, rt::Envelope envelope) override;
+  simnet::SimTime barrier_sync(simnet::SimTime local_max) override;
+  void interrupt() noexcept override;
+  void detach() override;
+
+ private:
+  /// One cached outbound connection (this proc -> `proc`). The mutex
+  /// serializes whole frames from concurrent local rank threads.
+  struct Outbound {
+    std::mutex mutex;
+    int fd = -1;
+  };
+
+  int owner_proc(int rank) const noexcept;
+  /// Connect-on-first-use; retries while the peer is still starting up.
+  int outbound_fd(int proc);
+  void send_frame(int proc, const FrameHeader& header, ByteSpan body);
+  void messenger_main();
+  /// Read and dispatch exactly one frame from `fd`; false on EOF.
+  bool read_one_frame(int fd);
+  void handle_payload(const FrameHeader& header, ByteSpan body);
+  void close_all_sockets();
+
+  TcpConfig config_;
+  rt::World* world_ = nullptr;
+  int nranks_ = 0;
+
+  int listen_fd_ = -1;
+  std::vector<std::unique_ptr<Outbound>> outbound_;
+  std::mutex inbound_mutex_;
+  std::vector<int> inbound_fds_;
+
+  std::thread messenger_;
+  std::atomic<bool> stopping_{false};
+
+  // Control-plane state fed by the messenger, consumed by attach() /
+  // barrier_sync() under control_mutex_.
+  std::mutex control_mutex_;
+  std::condition_variable control_cv_;
+  int hellos_seen_ = 0;       ///< proc 0: rendezvous Hellos received
+  bool welcomed_ = false;     ///< proc != 0: Welcome received
+  std::uint64_t barrier_round_ = 0;  ///< next barrier generation to use
+  struct BarrierRound {
+    int arrived = 0;
+    simnet::SimTime max_clock = 0.0;
+    bool released = false;
+  };
+  std::map<std::uint64_t, BarrierRound> barrier_rounds_;
+};
+
+}  // namespace cid::net

@@ -1,0 +1,91 @@
+#include "net/thread_transport.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+#include "rt/world.hpp"
+
+namespace cid::net {
+
+void ThreadTransport::attach(rt::World& world) {
+  CID_REQUIRE(world_ == nullptr, ErrorCode::RuntimeFault,
+              "ThreadTransport is already attached to a world");
+  world_ = &world;
+  inboxes_.clear();
+  for (int r = 0; r < world.nranks(); ++r) {
+    inboxes_.push_back(std::make_unique<Inbox>());
+  }
+  pending_.store(0, std::memory_order_relaxed);
+  stopping_.store(false, std::memory_order_relaxed);
+  messenger_ = std::thread(&ThreadTransport::messenger_main, this);
+}
+
+void ThreadTransport::deliver(int dest, rt::Envelope envelope) {
+  CID_ASSERT(world_ != nullptr, "ThreadTransport::deliver before attach()");
+  CID_REQUIRE(dest >= 0 && dest < static_cast<int>(inboxes_.size()),
+              ErrorCode::InvalidArgument,
+              "ThreadTransport deliver destination out of range");
+  {
+    std::lock_guard<std::mutex> lock(inboxes_[dest]->mutex);
+    inboxes_[dest]->queue.emplace_back(std::move(envelope), wall_seconds());
+  }
+  pending_.fetch_add(1, std::memory_order_release);
+  // Empty critical section pairs with the messenger's predicate check so
+  // the notification cannot slip between its check and its wait.
+  { std::lock_guard<std::mutex> lock(wake_mutex_); }
+  wake_cv_.notify_one();
+}
+
+void ThreadTransport::messenger_main() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mutex_);
+      wake_cv_.wait(lock, [&] {
+        return pending_.load(std::memory_order_acquire) > 0 ||
+               stopping_.load(std::memory_order_acquire);
+      });
+    }
+    std::int64_t drained = 0;
+    for (std::size_t rank = 0; rank < inboxes_.size(); ++rank) {
+      std::deque<std::pair<rt::Envelope, double>> batch;
+      {
+        std::lock_guard<std::mutex> lock(inboxes_[rank]->mutex);
+        batch.swap(inboxes_[rank]->queue);
+      }
+      if (batch.empty()) continue;
+      drained += static_cast<std::int64_t>(batch.size());
+      const bool record = obs::enabled();
+      for (auto& [envelope, enqueued_at] : batch) {
+        if (record) {
+          obs::count("net.thread.delivered", "net", static_cast<int>(rank));
+          obs::observe("net.thread.inbox_seconds", "net",
+                       static_cast<int>(rank),
+                       wall_seconds() - enqueued_at);
+        }
+        world_->mailbox(static_cast<int>(rank)).push(std::move(envelope));
+      }
+    }
+    if (drained > 0) {
+      pending_.fetch_sub(drained, std::memory_order_acq_rel);
+    }
+    if (stopping_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) <= 0) {
+      // detach() runs after every sender thread joined, so a zero count
+      // with stopping set means every inbox is drained for good.
+      return;
+    }
+  }
+}
+
+void ThreadTransport::detach() {
+  if (!messenger_.joinable()) return;
+  stopping_.store(true, std::memory_order_release);
+  { std::lock_guard<std::mutex> lock(wake_mutex_); }
+  wake_cv_.notify_all();
+  messenger_.join();
+  inboxes_.clear();
+  world_ = nullptr;
+}
+
+}  // namespace cid::net

@@ -1,0 +1,68 @@
+// ThreadTransport — ranks as real std::threads on real cores.
+//
+// Unlike the simulator, delivery is asynchronous like a NIC: deliver()
+// enqueues the envelope into the destination rank's inbox (mutex+condvar
+// deque — the lock-free upgrade slots in behind the same interface) and a
+// single messenger thread drains the inboxes into the mailboxes. Per-(src,
+// dst) FIFO order is preserved: a sender enqueues in program order and the
+// messenger drains each inbox front-to-back, so MPI non-overtaking per
+// (src, tag) holds exactly as on the simulator.
+//
+// Wall-clock timing flows into cid::obs: the messenger records per-rank
+// delivery counters and inbox-residency histograms, and rt::run wraps each
+// rank in a wall-clock obs span when the transport reports wall_time().
+//
+// Shutdown protocol (deterministic): rt::run joins every rank thread, then
+// calls detach(), which (1) marks the transport stopping, (2) wakes the
+// messenger, which drains every remaining envelope before exiting, and
+// (3) joins it. After detach() returns no envelope is left undelivered.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "rt/envelope.hpp"
+
+namespace cid::net {
+
+class ThreadTransport final : public Transport {
+ public:
+  Backend kind() const noexcept override { return Backend::Thread; }
+  bool wall_time() const noexcept override { return true; }
+
+  void attach(rt::World& world) override;
+  void deliver(int dest, rt::Envelope envelope) override;
+  void detach() override;
+
+ private:
+  /// One rank's arrival queue. Senders append under the inbox mutex; only
+  /// the messenger thread removes.
+  struct Inbox {
+    std::mutex mutex;
+    std::deque<std::pair<rt::Envelope, double>> queue;  ///< (envelope, t_in)
+  };
+
+  void messenger_main();
+
+  rt::World* world_ = nullptr;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::thread messenger_;
+
+  // Wakeup channel shared by all inboxes. pending_ counts undrained
+  // envelopes; it is signed because the messenger may drain an envelope
+  // between its inbox push and its sender's increment, making the count
+  // transiently negative.
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::atomic<std::int64_t> pending_{0};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace cid::net

@@ -1,0 +1,35 @@
+#include "net/transport.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "net/sim_transport.hpp"
+#include "net/tcp_transport.hpp"
+#include "net/thread_transport.hpp"
+
+namespace cid::net {
+
+Transport::~Transport() = default;
+
+std::shared_ptr<Transport> make_transport(Backend backend) {
+  switch (backend) {
+    case Backend::Sim:
+      return std::make_shared<SimTransport>();
+    case Backend::Thread:
+      return std::make_shared<ThreadTransport>();
+    case Backend::Tcp: {
+      auto config = tcp_config_from_env();
+      if (!config.is_ok()) {
+        throw CidError(config.status().code(), config.status().message());
+      }
+      return std::make_shared<TcpTransport>(std::move(config).take());
+    }
+  }
+  throw CidError(ErrorCode::InvalidArgument, "unknown transport backend");
+}
+
+std::shared_ptr<Transport> make_transport_from_env() {
+  return make_transport(backend_from_env());
+}
+
+}  // namespace cid::net

@@ -23,7 +23,23 @@ std::string& path_storage() {
 void init_from_env() {
   const char* path = std::getenv("CID_TRACE_OUT");
   if (path == nullptr || path[0] == '\0') return;
-  path_storage() = path;
+  std::string resolved = path;
+  // Under the tcp transport every process would truncate the same file and
+  // the last exiting process would win with only its own ranks' events.
+  // Give each process its own file: trace.json -> trace.proc1.json.
+  const char* proc = std::getenv("CID_NET_PROC");
+  if (proc != nullptr && proc[0] != '\0') {
+    const auto slash = resolved.find_last_of('/');
+    const auto dot = resolved.find_last_of('.');
+    const std::string infix = std::string(".proc") + proc;
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash)) {
+      resolved.insert(dot, infix);
+    } else {
+      resolved += infix;
+    }
+  }
+  path_storage() = resolved;
   g_active.store(true, std::memory_order_release);
   set_enabled(true);
   std::atexit([] { autotrace_write(); });

@@ -1,6 +1,7 @@
 #include "rt/mailbox.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.hpp"
 
@@ -158,6 +159,36 @@ Envelope Mailbox::wait_extract(std::span<const MatchKey> keys,
     return find_any(keys, residual, floor);
   });
   return extract(found);
+}
+
+std::optional<Envelope> Mailbox::wait_extract_for(
+    std::span<const MatchKey> keys, double seconds,
+    const Residual* residual) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(std::max(seconds, 0.0)));
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::uint64_t floor = 0;
+  for (;;) {
+    if (auto found = find_any(keys, residual, floor)) {
+      return extract(*found);
+    }
+    floor = next_seq_;
+    throw_if_poisoned();
+    Waiter waiter{keys};
+    waiters_.push_back(&waiter);
+    const std::cv_status status = arrived_.wait_until(lock, deadline);
+    waiters_.erase(std::find(waiters_.begin(), waiters_.end(), &waiter));
+    if (status == std::cv_status::timeout) {
+      throw_if_poisoned();
+      // An arrival can race the timeout: scan once more before giving up.
+      if (auto found = find_any(keys, residual, floor)) {
+        return extract(*found);
+      }
+      return std::nullopt;
+    }
+  }
 }
 
 std::optional<Envelope> Mailbox::try_extract(std::span<const MatchKey> keys,

@@ -100,6 +100,14 @@ class Mailbox {
     return wait_extract(std::span<const MatchKey>(&key, 1), residual);
   }
 
+  /// Timed variant for wall-clock transports: block at most `seconds` of
+  /// real time; nullopt on timeout. Real-loss transports (tcp) deliver
+  /// nothing at all for a lost message, so reliability protocols cannot
+  /// wait on a tombstone — they wait on the clock instead.
+  std::optional<Envelope> wait_extract_for(std::span<const MatchKey> keys,
+                                           double seconds,
+                                           const Residual* residual = nullptr);
+
   /// Non-blocking variant.
   std::optional<Envelope> try_extract(std::span<const MatchKey> keys,
                                       const Residual* residual = nullptr);

@@ -6,7 +6,10 @@
 #include <thread>
 
 #include "common/log.hpp"
+#include "net/backend.hpp"
+#include "net/transport.hpp"
 #include "obs/autotrace.hpp"
+#include "obs/obs.hpp"
 
 namespace cid::rt {
 
@@ -50,16 +53,25 @@ RunResult run(int nranks, const simnet::MachineModel& model, const RankFn& fn,
   // code changes in the SPMD program.
   obs::autotrace_poll();
 
+  // Resolve the transport backend: explicit option first, CID_BACKEND
+  // otherwise (sim when unset — the deterministic virtual-time default).
+  std::shared_ptr<net::Transport> transport =
+      options.transport != nullptr ? options.transport
+                                   : net::make_transport_from_env();
+
   World world(nranks, model);
+  world.set_transport(transport);
   if (options.interceptor != nullptr) {
     world.set_interceptor(options.interceptor);
   }
   std::mutex failure_mutex;
   std::exception_ptr first_failure;
 
+  const bool wall_time = transport->wall_time();
   auto rank_main = [&](int rank) {
     RankCtx ctx(rank, world);
     CtxScope scope(ctx);
+    const double wall_begin = net::wall_seconds();
     try {
       fn(ctx);
     } catch (...) {
@@ -69,14 +81,30 @@ RunResult run(int nranks, const simnet::MachineModel& model, const RankFn& fn,
       }
       world.poison();
     }
+    if (wall_time && obs::enabled()) {
+      // On wall-clock backends the number that matters is how long the
+      // rank really ran, not its (bookkeeping) virtual clock.
+      obs::span({rank, "wall", "rank_main", wall_begin,
+                 net::wall_seconds(), 0, 0});
+      obs::observe("net.rank_wall_seconds", "rt", rank,
+                   net::wall_seconds() - wall_begin);
+    }
   };
 
+  // attach() before any rank starts; on cross-process transports only the
+  // locally-hosted slice of ranks runs in this process.
+  transport->attach(world);
+  const int local_begin = transport->local_rank_begin(nranks);
+  const int local_count = transport->local_rank_count(nranks);
   std::vector<std::thread> threads;
-  threads.reserve(nranks);
-  for (int r = 0; r < nranks; ++r) {
+  threads.reserve(local_count);
+  for (int r = local_begin; r < local_begin + local_count; ++r) {
     threads.emplace_back(rank_main, r);
   }
   for (auto& thread : threads) thread.join();
+  // Deterministic shutdown: after every local rank joined, drain the
+  // transport (and, cross-process, synchronize the teardown).
+  transport->detach();
 
   if (first_failure) std::rethrow_exception(first_failure);
 

@@ -55,6 +55,11 @@ struct RunResult {
 /// fault layer's delivery interceptor, notably) is passed here.
 struct RunOptions {
   std::shared_ptr<DeliveryInterceptor> interceptor;
+  /// Transport backend carrying envelopes between ranks. Null resolves
+  /// CID_BACKEND (sim when unset) via net::make_transport_from_env(); see
+  /// docs/TRANSPORTS.md. On cross-process transports run() spawns only the
+  /// ranks this process hosts.
+  std::shared_ptr<net::Transport> transport;
 };
 
 /// Execute `fn` on `nranks` ranks over a fresh World. Rethrows the first

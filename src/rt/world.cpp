@@ -2,12 +2,16 @@
 
 #include <algorithm>
 
+#include "net/transport.hpp"
 #include "obs/obs.hpp"
 
 namespace cid::rt {
 
 World::World(int nranks, simnet::MachineModel model)
-    : nranks_(nranks), model_(model), clocks_(nranks) {
+    : nranks_(nranks),
+      model_(model),
+      barrier_participants_(nranks),
+      clocks_(nranks) {
   CID_REQUIRE(nranks > 0, ErrorCode::InvalidArgument,
               "World requires at least one rank");
   mailboxes_.reserve(nranks);
@@ -16,6 +20,42 @@ World::World(int nranks, simnet::MachineModel model)
     mailboxes_.push_back(std::make_unique<Mailbox>());
     mailboxes_.back()->set_poison_check([this] { return poisoned(); });
     signals_.push_back(std::make_unique<RankSignal>());
+  }
+}
+
+void World::set_transport(std::shared_ptr<net::Transport> transport) {
+  transport_ = std::move(transport);
+  if (transport_ != nullptr) {
+    barrier_participants_ = transport_->local_rank_count(nranks_);
+    transport_real_loss_ = transport_->real_loss();
+  } else {
+    barrier_participants_ = nranks_;
+    transport_real_loss_ = false;
+  }
+  CID_REQUIRE(barrier_participants_ > 0, ErrorCode::InvalidArgument,
+              "transport hosts no ranks in this process");
+}
+
+void World::require_single_process(const std::string& what) const {
+  if (transport_ != nullptr && transport_->cross_process()) {
+    throw CidError(ErrorCode::UnsupportedTarget,
+                   what + " requires all ranks in one process; the " +
+                       std::string(net::backend_name(transport_->kind())) +
+                       " transport shards them across processes");
+  }
+}
+
+bool World::rank_is_local(int rank) const noexcept {
+  if (transport_ == nullptr || !transport_->cross_process()) return true;
+  const int begin = transport_->local_rank_begin(nranks_);
+  return rank >= begin && rank < begin + transport_->local_rank_count(nranks_);
+}
+
+void World::route(int dest, Envelope envelope) {
+  if (transport_ != nullptr) {
+    transport_->deliver(dest, std::move(envelope));
+  } else {
+    mailboxes_[dest]->push(std::move(envelope));
   }
 }
 
@@ -42,22 +82,38 @@ void World::deliver(int dest, Envelope envelope) {
     if (verdict.duplicate) {
       Envelope copy = envelope;
       copy.available_at += verdict.duplicate_delay;
-      mailboxes_[dest]->push(std::move(copy));
+      route(dest, std::move(copy));
     }
     if (verdict.drop) {
+      if (transport_real_loss_) {
+        // Real loss (tcp): the envelope never made it onto the wire.
+        // Nothing arrives at the destination; reliability protocols must
+        // detect the gap with wall-clock deadlines.
+        if (obs::enabled()) {
+          obs::count("rt.deliver.lost", "world", dest);
+        }
+        return;
+      }
       envelope.payload.clear();
       envelope.faulted = true;
     }
   }
-  mailboxes_[dest]->push(std::move(envelope));
+  route(dest, std::move(envelope));
 }
 
 void World::barrier(int rank, simnet::SimTime cost) {
   check_poisoned();
   std::unique_lock<std::mutex> lock(barrier_.mutex);
   barrier_.max_clock = std::max(barrier_.max_clock, clocks_[rank].now());
-  if (++barrier_.arrived == nranks_) {
-    const simnet::SimTime release_time = barrier_.max_clock + cost;
+  if (++barrier_.arrived == barrier_participants_) {
+    // The last locally-arriving rank folds the other processes' maxima in
+    // through the transport (identity for in-process transports, so the
+    // simulator's barrier arithmetic is untouched).
+    simnet::SimTime global_max = barrier_.max_clock;
+    if (transport_ != nullptr) {
+      global_max = transport_->barrier_sync(global_max);
+    }
+    const simnet::SimTime release_time = global_max + cost;
     for (auto& clock : clocks_) clock.reset(release_time);
     barrier_.arrived = 0;
     barrier_.max_clock = 0.0;
@@ -75,6 +131,9 @@ void World::barrier(int rank, simnet::SimTime cost) {
 
 void World::poison() noexcept {
   poisoned_.store(true, std::memory_order_release);
+  if (transport_ != nullptr) {
+    transport_->interrupt();  // wake ranks blocked inside barrier_sync
+  }
   for (auto& mailbox : mailboxes_) mailbox->interrupt_all();
   barrier_.released.notify_all();
   for (auto& signal : signals_) signal->changed.notify_all();

@@ -17,6 +17,10 @@
 #include "simnet/machine_model.hpp"
 #include "simnet/virtual_clock.hpp"
 
+namespace cid::net {
+class Transport;
+}  // namespace cid::net
+
 namespace cid::rt {
 
 /// What the delivery interceptor decided about one envelope. At most one of
@@ -72,6 +76,25 @@ class World {
   DeliveryInterceptor* interceptor() const noexcept {
     return interceptor_.get();
   }
+
+  /// Install the transport that carries envelopes and synchronizes the
+  /// world barrier (see net/transport.hpp). Null (the default) short-
+  /// circuits to the simulator path: synchronous mailbox push, local-only
+  /// barrier — byte-identical to the pre-seam runtime, which is what keeps
+  /// direct World construction in tests on the golden fingerprints.
+  /// Install before ranks start; rt::run does this.
+  void set_transport(std::shared_ptr<net::Transport> transport);
+  net::Transport* transport() const noexcept { return transport_.get(); }
+
+  /// Gate for facilities built on in-process shared state (the shmem
+  /// symmetric heap, MPI windows, communicator split): throws
+  /// CidError(UnsupportedTarget) on a cross-process transport, whose remote
+  /// ranks cannot reach this process's memory or condition variables.
+  void require_single_process(const std::string& what) const;
+
+  /// True when `rank` runs in this OS process (always true without a
+  /// cross-process transport).
+  bool rank_is_local(int rank) const noexcept;
 
   /// Max-reducing barrier: all ranks block until everyone arrives, then every
   /// clock is set to max(arrival clocks) + cost. `cost` defaults to the
@@ -143,9 +166,19 @@ class World {
     std::condition_variable changed;
   };
 
+  /// Hand one envelope to the transport (or push directly when none).
+  void route(int dest, Envelope envelope);
+
   int nranks_;
   simnet::MachineModel model_;
   std::shared_ptr<DeliveryInterceptor> interceptor_;
+  std::shared_ptr<net::Transport> transport_;
+  /// Ranks that arrive at the world barrier in this process (== nranks_
+  /// unless a cross-process transport hosts only a slice of the world).
+  int barrier_participants_;
+  /// Cached Transport::real_loss(): fault-layer drops are discarded
+  /// outright instead of delivered as tombstones.
+  bool transport_real_loss_ = false;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<simnet::VirtualClock> clocks_;
   BarrierState barrier_;

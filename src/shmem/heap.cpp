@@ -137,6 +137,9 @@ std::size_t SymmetricHeap::default_capacity() noexcept {
 }
 
 SymmetricHeap& SymmetricHeap::of_world(rt::RankCtx& ctx) {
+  // The symmetric heap is one in-process allocation every rank addresses
+  // directly; ranks in other OS processes cannot map it.
+  ctx.world().require_single_process("the shmem symmetric heap");
   auto heap = ctx.world().shared_object<SymmetricHeap>(
       "shmem.heap", ctx.nranks(), default_capacity());
   return *heap;

@@ -152,6 +152,23 @@ TEST(Rng, NextBelowRespectsBound) {
   EXPECT_EQ(seen.size(), 7u);  // all residues hit over 1000 draws
 }
 
+TEST(Rng, ForRankStreamsAreReproducibleAndDecorrelated) {
+  // Same (base, rank) -> identical stream.
+  Rng a = Rng::for_rank(42, 3);
+  Rng b = Rng::for_rank(42, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+
+  // Adjacent ranks and adjacent base seeds give different streams, including
+  // the cross pairs (base, rank+1) vs (base+1, rank).
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t base : {42u, 43u}) {
+    for (int rank : {0, 1, 2, 3}) {
+      firsts.insert(Rng::for_rank(base, rank).next_u64());
+    }
+  }
+  EXPECT_EQ(firsts.size(), 8u);
+}
+
 // --- strings -------------------------------------------------------------------
 
 TEST(Strings, Trim) {

@@ -54,6 +54,10 @@ int compile(const std::string& source_path, const std::string& binary_path,
                            CID_BINARY_DIR + "/src/mpi/libcid_mpi.a " +
                            CID_BINARY_DIR + "/src/shmem/libcid_shmem.a " +
                            CID_BINARY_DIR + "/src/rt/libcid_rt.a " +
+                           CID_BINARY_DIR + "/src/net/libcid_net.a " +
+                           // net <-> rt is a link cycle: repeat cid_rt after
+                           // cid_net so the transports' rt symbols resolve.
+                           CID_BINARY_DIR + "/src/rt/libcid_rt.a " +
                            CID_BINARY_DIR + "/src/obs/libcid_obs.a " +
                            CID_BINARY_DIR + "/src/simnet/libcid_simnet.a " +
                            CID_BINARY_DIR + "/src/common/libcid_common.a";

@@ -4,13 +4,19 @@
 //   cidt [options] input.cpp      source-to-source translation (the default)
 //   cidt check [options] files…   static directive verification (cidlint)
 //   cidt trace <verb> …           trace-file reports
+//   cidt run [options] prog …     launch a program on a transport backend
+//   cidt net doctor               transport configuration preflight
 //
 // Exit codes, shared by every subcommand:
 //   0  success / no findings
 //   1  findings: diagnostics reported, translation rejected, traces differ
 //   2  usage error (unknown option, missing operand)
 //   3  I/O error (unreadable input, unwritable output)
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -18,6 +24,8 @@
 #include <vector>
 
 #include "analyze/analyze.hpp"
+#include "net/backend.hpp"
+#include "net/doctor.hpp"
 #include "obs/trace_read.hpp"
 #include "obs/trace_tool.hpp"
 #include "translate/translator.hpp"
@@ -38,6 +46,9 @@ int usage(const char* argv0) {
       "       %s trace summarize <trace.json>\n"
       "       %s trace diff <a.json> <b.json>\n"
       "       %s trace export <trace.json> [-o out.csv]\n"
+      "       %s run [--backend sim|thread|tcp] [--procs N]\n"
+      "            [--port-base P] <program> [args...]\n"
+      "       %s net doctor\n"
       "\n"
       "subcommands:\n"
       "  (default)  translate directive pragmas to message passing code;\n"
@@ -46,8 +57,14 @@ int usage(const char* argv0) {
       "             (documented in docs/ANALYSIS.md); exits 1 when any\n"
       "             diagnostic is reported\n"
       "  trace      summarize, diff or export Chrome trace-event files\n"
-      "             written via CID_TRACE_OUT\n",
-      argv0, argv0, argv0, argv0, argv0);
+      "             written via CID_TRACE_OUT\n"
+      "  run        exec <program> with CID_BACKEND set; --backend tcp\n"
+      "             forks --procs processes on loopback ports and wires\n"
+      "             CID_NET_PEERS/CID_NET_PROC for them\n"
+      "  net        transport diagnostics (docs/TRANSPORTS.md); doctor\n"
+      "             checks CID_BACKEND, the frame codec and the tcp peer\n"
+      "             table, exits 1 when anything needs fixing\n",
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return kExitUsage;
 }
 
@@ -180,6 +197,131 @@ int trace_main(int argc, char** argv) {
   return usage(argv[0]);
 }
 
+/// `cidt net doctor`: transport configuration preflight.
+int net_main(int argc, char** argv) {
+  if (argc < 3 || std::string(argv[2]) != "doctor") {
+    if (argc >= 3) {
+      std::fprintf(stderr, "cidt: unknown net verb '%s'\n", argv[2]);
+    }
+    return usage(argv[0]);
+  }
+  const int findings = cid::net::run_net_doctor(std::cout);
+  if (findings > 0) {
+    std::fprintf(stderr, "cidt net doctor: %d finding(s)\n", findings);
+    return kExitFindings;
+  }
+  return kExitClean;
+}
+
+/// `cidt run`: launch a program under a chosen transport backend. sim and
+/// thread exec in place; tcp forks one process per peer on loopback ports
+/// and propagates the first nonzero child exit status.
+int run_main(int argc, char** argv) {
+  std::string backend_name = "sim";
+  int procs = 2;
+  bool procs_given = false;
+  int port_base = 0;
+  int program_index = -1;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--backend" && i + 1 < argc) {
+      backend_name = argv[++i];
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      backend_name = arg.substr(10);
+    } else if (arg == "--procs" && i + 1 < argc) {
+      procs = std::atoi(argv[++i]);
+      procs_given = true;
+    } else if (arg.rfind("--procs=", 0) == 0) {
+      procs = std::atoi(arg.c_str() + 8);
+      procs_given = true;
+    } else if (arg == "--port-base" && i + 1 < argc) {
+      port_base = std::atoi(argv[++i]);
+    } else if (arg.rfind("--port-base=", 0) == 0) {
+      port_base = std::atoi(arg.c_str() + 12);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "cidt: unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      program_index = i;
+      break;
+    }
+  }
+  if (program_index < 0) {
+    std::fprintf(stderr, "cidt: run needs a program to launch\n");
+    return usage(argv[0]);
+  }
+  const auto backend = cid::net::parse_backend(backend_name);
+  if (!backend.has_value()) {
+    std::fprintf(stderr, "cidt: unknown backend '%s'\n",
+                 backend_name.c_str());
+    return usage(argv[0]);
+  }
+  std::vector<char*> child_argv(argv + program_index, argv + argc);
+  child_argv.push_back(nullptr);
+
+  if (*backend != cid::net::Backend::Tcp) {
+    if (procs_given) {
+      std::fprintf(stderr,
+                   "cidt: --procs only applies to --backend tcp (%s runs "
+                   "every rank in one process)\n",
+                   backend_name.c_str());
+      return usage(argv[0]);
+    }
+    ::setenv("CID_BACKEND", backend_name.c_str(), 1);
+    ::execvp(child_argv[0], child_argv.data());
+    std::fprintf(stderr, "cidt: cannot exec '%s'\n", child_argv[0]);
+    return kExitIo;
+  }
+
+  if (procs < 1 || procs > 64) {
+    std::fprintf(stderr, "cidt: --procs must be in [1, 64]\n");
+    return usage(argv[0]);
+  }
+  if (port_base == 0) {
+    // Spread concurrent launches (e.g. parallel CI shards) over the
+    // ephemeral range so two runs rarely contend for the same ports.
+    port_base = 20000 + static_cast<int>(::getpid() % 20000);
+  }
+  if (port_base < 1024 || port_base + procs > 65536) {
+    std::fprintf(stderr, "cidt: --port-base out of range\n");
+    return usage(argv[0]);
+  }
+  std::string peers;
+  for (int p = 0; p < procs; ++p) {
+    if (p > 0) peers += ',';
+    peers += "127.0.0.1:" + std::to_string(port_base + p);
+  }
+
+  std::vector<pid_t> children;
+  for (int p = 0; p < procs; ++p) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "cidt: fork failed\n");
+      for (pid_t child : children) ::kill(child, SIGTERM);
+      return kExitIo;
+    }
+    if (pid == 0) {
+      ::setenv("CID_BACKEND", "tcp", 1);
+      ::setenv("CID_NET_PEERS", peers.c_str(), 1);
+      ::setenv("CID_NET_PROC", std::to_string(p).c_str(), 1);
+      ::execvp(child_argv[0], child_argv.data());
+      std::fprintf(stderr, "cidt: cannot exec '%s'\n", child_argv[0]);
+      std::_Exit(kExitIo);
+    }
+    children.push_back(pid);
+  }
+  int worst = kExitClean;
+  for (pid_t child : children) {
+    int status = 0;
+    ::waitpid(child, &status, 0);
+    const int code = WIFEXITED(status) ? WEXITSTATUS(status)
+                                       : 128 + WTERMSIG(status);
+    if (worst == kExitClean && code != 0) worst = code;
+  }
+  return worst;
+}
+
 int translate_main(int argc, char** argv) {
   std::string input_path;
   std::string output_path;
@@ -275,6 +417,12 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::string(argv[1]) == "check") {
     return check_main(argc, argv);
+  }
+  if (argc >= 2 && std::string(argv[1]) == "net") {
+    return net_main(argc, argv);
+  }
+  if (argc >= 2 && std::string(argv[1]) == "run") {
+    return run_main(argc, argv);
   }
   return translate_main(argc, argv);
 }

@@ -268,13 +268,12 @@ double baseline_value(const std::string& json, const std::string& name) {
 
 void write_json(const std::string& path,
                 const std::vector<WorkloadResult>& results, bool quick,
-                const std::string& baseline_json,
-                const std::string& baseline_path) {
+                const std::string& baseline_json) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"hotpath\",\n  \"kind\": \"wall_clock\",\n";
   out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
   if (!baseline_json.empty()) {
-    out << "  \"baseline\": \"" << baseline_path << "\",\n";
+    out << "  \"baseline\": \"" << cid::bench::kBaselineLabel << "\",\n";
   }
   out << "  \"workloads\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -350,7 +349,7 @@ int main(int argc, char** argv) {
     cid::bench::print_row(
         {r.name, std::to_string(r.items), secs, value}, 24);
   }
-  write_json(out_path, results, quick, baseline_json, baseline_path);
+  write_json(out_path, results, quick, baseline_json);
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;
 }

@@ -41,6 +41,11 @@ inline void print_header(const char* title, const char* description) {
   std::printf("==============================================================\n");
 }
 
+/// Label recorded in emitted JSON when a bench was run against a baseline
+/// capture (--baseline FILE). The label — not the local filesystem path,
+/// which is machine-specific noise — is what gets committed in BENCH_*.json.
+inline constexpr const char* kBaselineLabel = "pre-change-tree";
+
 /// True when the benches should run a reduced sweep (CID_BENCH_QUICK=1 or
 /// --quick on the command line).
 inline bool quick_mode(int argc, char** argv) {

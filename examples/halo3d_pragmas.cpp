@@ -1,0 +1,47 @@
+// Translator-form companion of halo3d.cpp: the same six-face 3-D halo
+// exchange as #pragma comm_* directives, on a fixed 2 x 2 x N rank brick
+// (x stride 1, y stride 2, z stride 4) so every clause is a closed-form
+// expression over rank/nprocs that the static verifier can sweep.
+//
+// This file is INPUT for `cidt` (translate / check), not part of the build:
+// CI runs `cidt check examples/*.cpp`, which match-checks each directive
+// pair over the nprocs sweep — a send with no matching receive (or a guard
+// that can never fire) fails the lint. It is never compiled; unknown
+// pragmas would trip -Werror=unknown-pragmas.
+//
+// Guard scheme, +d direction with stride s: a rank sends iff its coordinate
+// along d is not the last AND the target exists (rank+s < nprocs, for the
+// partial last plane); it receives iff its coordinate is not the first.
+// The bench/runnable form (halo3d.cpp) parameterizes the same structure
+// with let(px, py, pz) bindings instead of literals.
+
+#pragma comm_parameters count(36) max_comm_iter(6) \
+    place_sync(END_PARAM_REGION)
+{
+/* +x: send my high-x face to rank+1, receive my low-x halo from rank-1 */
+#pragma comm_p2p receiver(rank+1) sendwhen(rank%2==0 && rank+1<nprocs) \
+    sender(rank-1) receivewhen(rank%2==1) sbuf(xp_out) rbuf(xm_in)
+{ }
+/* -x */
+#pragma comm_p2p receiver(rank-1) sendwhen(rank%2==1) \
+    sender(rank+1) receivewhen(rank%2==0 && rank+1<nprocs) \
+    sbuf(xm_out) rbuf(xp_in)
+{ }
+/* +y (stride 2) */
+#pragma comm_p2p receiver(rank+2) sendwhen((rank/2)%2==0 && rank+2<nprocs) \
+    sender(rank-2) receivewhen((rank/2)%2==1) sbuf(yp_out) rbuf(ym_in)
+{ }
+/* -y */
+#pragma comm_p2p receiver(rank-2) sendwhen((rank/2)%2==1) \
+    sender(rank+2) receivewhen((rank/2)%2==0 && rank+2<nprocs) \
+    sbuf(ym_out) rbuf(yp_in)
+{ }
+/* +z (stride 4): every rank with an in-range +z neighbour exchanges */
+#pragma comm_p2p receiver(rank+4) sendwhen(rank+4<nprocs) \
+    sender(rank-4) receivewhen(rank>3) sbuf(zp_out) rbuf(zm_in)
+{ }
+/* -z */
+#pragma comm_p2p receiver(rank-4) sendwhen(rank>3) \
+    sender(rank+4) receivewhen(rank+4<nprocs) sbuf(zm_out) rbuf(zp_in)
+{ }
+}

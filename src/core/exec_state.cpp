@@ -31,13 +31,20 @@ void PendingOps::merge_from(PendingOps&& other) {
 }
 
 ExecState& ExecState::mine() {
-  thread_local ExecState state;
-  const rt::World* current = &rt::current_ctx().world();
-  if (state.world_ != current) {
-    state = ExecState{};
-    state.world_ = current;
+  // Rank-local, not thread-local: under the pooled scheduler many ranks
+  // share (and migrate between) worker threads, so the executor state lives
+  // in the RankCtx and dies with the run.
+  static constexpr char kKey = 0;
+  auto& ctx = rt::current_ctx();
+  auto& slot = ctx.local_slot(&kKey);
+  auto* state = static_cast<ExecState*>(slot.get());
+  if (state == nullptr) {
+    auto fresh = std::make_shared<ExecState>();
+    fresh->world_ = &ctx.world();
+    state = fresh.get();
+    slot = std::move(fresh);
   }
-  return state;
+  return *state;
 }
 
 mpi::Datatype ExecState::datatype_for(const TypeLayout& layout) {

@@ -28,7 +28,20 @@ struct TraceCollector::Sink {
 
 namespace detail {
 namespace {
+/// Fallback for callers outside an SPMD region (test harnesses that attach
+/// and record on a plain thread). Inside a region the sink lives in the
+/// RankCtx local slot below, which follows the rank when the pooled
+/// scheduler migrates it between worker threads.
 thread_local TraceCollector::Sink* t_sink = nullptr;
+
+/// RankCtx::local_slot key for the attached sink.
+constexpr char kCtxSinkKey = 0;
+
+TraceCollector::Sink* ctx_sink() noexcept {
+  if (!rt::in_spmd_region()) return nullptr;
+  return static_cast<TraceCollector::Sink*>(
+      rt::current_ctx().local_slot(&kCtxSinkKey).get());
+}
 
 /// Derive the per-(metric, site, rank) counters and virtual-time latency
 /// histograms the observability layer publishes for every directive event.
@@ -83,15 +96,18 @@ void forward_to_obs(const TraceEvent& event) {
 }
 }  // namespace
 
-TraceCollector::Sink* active_trace_sink() noexcept { return t_sink; }
+TraceCollector::Sink* active_trace_sink() noexcept {
+  if (rt::in_spmd_region()) return ctx_sink();
+  return t_sink;
+}
 
 bool trace_enabled() noexcept {
-  return t_sink != nullptr || obs::enabled();
+  return active_trace_sink() != nullptr || obs::enabled();
 }
 
 void record_trace_event(TraceEvent event) {
   if (obs::enabled()) forward_to_obs(event);
-  TraceCollector::Sink* sink = t_sink;
+  TraceCollector::Sink* sink = active_trace_sink();
   if (sink == nullptr) return;
   std::lock_guard<std::mutex> lock(sink->mutex);
   sink->events.push_back(std::move(event));
@@ -102,8 +118,17 @@ TraceCollector::TraceCollector() : sink_(std::make_shared<Sink>()) {}
 
 TraceCollector::~TraceCollector() = default;
 
-void TraceCollector::attach(rt::RankCtx&) {
-  detail::t_sink = sink_.get();
+void TraceCollector::attach(rt::RankCtx& ctx) {
+  // Shared ownership in the slot: the sink outlives the rank even if the
+  // collector is destroyed first.
+  ctx.local_slot(&detail::kCtxSinkKey) = sink_;
+  if (rt::sched::Fiber::current() == nullptr) {
+    // Plain-thread callers (thread-per-rank mode, direct harnesses) may
+    // record from outside an SPMD region; keep the thread_local fallback
+    // pointing at this sink. On a fiber that would scribble a stale pointer
+    // onto the worker thread, so skip it there.
+    detail::t_sink = sink_.get();
+  }
 }
 
 std::vector<TraceEvent> TraceCollector::events() const {

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "rt/envelope.hpp"
+#include "rt/sched.hpp"
 
 namespace cid::mpi {
 
@@ -214,7 +215,12 @@ bool test(Request& request) {
               "test() on invalid Request");
   ctx.charge_compute(path(ctx).waitall_per_request);  // cheap poll
   Engine::mine().progress(ctx);
-  if (!impl->complete) return false;
+  if (!impl->complete) {
+    // Callers poll test() in a loop; under the pooled scheduler the rank
+    // must yield its worker or the peer it is polling for never runs.
+    rt::sched::yield();
+    return false;
+  }
   finalize(ctx, *impl);
   return true;
 }
@@ -405,7 +411,10 @@ bool iprobe(const Comm& comm, int source, int tag, const Datatype& dtype,
   ctx.charge_compute(path(ctx).waitall_per_request);  // cheap poll
   const rt::Mailbox::Residual residual = membership_residual(comm);
   auto header = ctx.mailbox().peek(probe_key(comm, source, tag), &residual);
-  if (!header) return false;
+  if (!header) {
+    rt::sched::yield();  // let the polled-for peer run (see mpi::test)
+    return false;
+  }
   ctx.clock().advance_to(header->available_at);
   if (status != nullptr) *status = status_from_header(comm, *header, dtype);
   return true;

@@ -1,0 +1,99 @@
+#include "rt/arena.hpp"
+
+#include <bit>
+#include <utility>
+
+namespace cid::rt {
+
+PayloadArena& PayloadArena::global() {
+  static PayloadArena* arena = new PayloadArena();  // leaked by design
+  return *arena;
+}
+
+int PayloadArena::bin_index(std::size_t bytes) noexcept {
+  if (bytes > kMaxBinnedBytes) return -1;
+  const std::size_t clamped = bytes < kMinBinBytes ? kMinBinBytes : bytes;
+  // Index of the smallest power-of-two class holding `clamped` bytes.
+  const int log2 = std::bit_width(clamped - 1);
+  return log2 - 6;  // class 2^6 -> bin 0
+}
+
+ByteBuffer PayloadArena::acquire(std::size_t size) {
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+  const int bin_idx = bin_index(size);
+  if (bin_idx >= 0) {
+    Bin& bin = bins_[bin_idx];
+    std::lock_guard<std::mutex> lock(bin.mutex);
+    if (!bin.free.empty()) {
+      ByteBuffer buffer = std::move(bin.free.back());
+      bin.free.pop_back();
+      bin.free_bytes -= buffer.capacity();
+      reuses_.fetch_add(1, std::memory_order_relaxed);
+      buffer.clear();
+      buffer.resize(size);  // value-initialized, same as a fresh buffer
+      return buffer;
+    }
+  }
+  return ByteBuffer(size);
+}
+
+void PayloadArena::release(ByteBuffer&& buffer) {
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t capacity = buffer.capacity();
+  if (capacity == 0) return;
+  const int bin_idx = bin_index(capacity);
+  if (bin_idx < 0) return;  // oversized: let the allocator have it back
+  Bin& bin = bins_[bin_idx];
+  std::lock_guard<std::mutex> lock(bin.mutex);
+  if (bin.free_bytes + capacity > kMaxRetainedPerBin) return;
+  bin.free_bytes += capacity;
+  bin.free.push_back(std::move(buffer));
+  retained_.fetch_add(1, std::memory_order_relaxed);
+}
+
+PayloadNode* PayloadArena::acquire_node() {
+  node_acquires_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    if (!free_nodes_.empty()) {
+      PayloadNode* node = free_nodes_.back();
+      free_nodes_.pop_back();
+      node_reuses_.fetch_add(1, std::memory_order_relaxed);
+      node->refs.store(1, std::memory_order_relaxed);
+      return node;
+    }
+  }
+  return new PayloadNode();
+}
+
+void PayloadArena::release_node(PayloadNode* node) {
+  release(std::move(node->bytes));
+  node->bytes = ByteBuffer();
+  {
+    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    if (free_nodes_.size() < kMaxFreeNodes) {
+      free_nodes_.push_back(node);
+      return;
+    }
+  }
+  delete node;
+}
+
+ArenaStats PayloadArena::stats() const {
+  ArenaStats s;
+  s.acquires = acquires_.load(std::memory_order_relaxed);
+  s.reuses = reuses_.load(std::memory_order_relaxed);
+  s.releases = releases_.load(std::memory_order_relaxed);
+  s.retained = retained_.load(std::memory_order_relaxed);
+  s.node_acquires = node_acquires_.load(std::memory_order_relaxed);
+  s.node_reuses = node_reuses_.load(std::memory_order_relaxed);
+  std::uint64_t parked = 0;
+  for (const Bin& bin : bins_) {
+    std::lock_guard<std::mutex> lock(const_cast<Bin&>(bin).mutex);
+    parked += bin.free_bytes;
+  }
+  s.retained_bytes = parked;
+  return s;
+}
+
+}  // namespace cid::rt

@@ -1,0 +1,102 @@
+// Recycling allocator for message payload buffers and their refcount nodes.
+//
+// Every send gathers wire bytes into a ByteBuffer and wraps it in a
+// rt::Payload; at O(10k) ranks that is millions of malloc/free round trips
+// per simulated step, all of roughly the same few sizes. The arena keeps
+// released buffers in power-of-two size-class bins and hands their capacity
+// back to the next acquire, so steady-state traffic — including
+// fault-layer duplicates and reliability retransmits, which alias and then
+// release the same buffers — runs without touching the system allocator.
+// Payload's intrusive refcount nodes recycle through a companion freelist.
+//
+// Recycling only reuses memory, never values: an acquired buffer is resized
+// (and value-initialized) to the requested length exactly like a fresh
+// ByteBuffer, so virtual-time results are unaffected.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace cid::rt {
+
+/// Counters for one arena. Reuse/miss ratios depend on wall-clock
+/// interleaving — informational, never part of deterministic output.
+struct ArenaStats {
+  std::uint64_t acquires = 0;        ///< buffers handed out
+  std::uint64_t reuses = 0;          ///< ... served from a bin
+  std::uint64_t releases = 0;        ///< buffers returned
+  std::uint64_t retained = 0;        ///< ... kept for reuse
+  std::uint64_t node_acquires = 0;   ///< refcount nodes handed out
+  std::uint64_t node_reuses = 0;     ///< ... served from the freelist
+  std::uint64_t retained_bytes = 0;  ///< capacity currently parked in bins
+};
+
+/// Payload's intrusive control block: refcount + the owned bytes. Lives on
+/// the arena's node freelist between uses.
+struct PayloadNode {
+  std::atomic<long> refs{1};
+  ByteBuffer bytes;
+};
+
+class PayloadArena {
+ public:
+  /// The process-wide arena. Leaked on purpose (like the obs singletons) so
+  /// payloads released during static teardown stay safe.
+  static PayloadArena& global();
+
+  /// A buffer of exactly `size` bytes, value-initialized, with capacity
+  /// recycled from the matching bin when available.
+  ByteBuffer acquire(std::size_t size);
+
+  /// Return a buffer's capacity to its bin (dropped when the bin is at its
+  /// retention cap or the buffer is oversized).
+  void release(ByteBuffer&& buffer);
+
+  /// A refcount node with refs == 1 and empty bytes.
+  PayloadNode* acquire_node();
+
+  /// Recycle a node whose refcount hit zero; its bytes go through
+  /// release().
+  void release_node(PayloadNode* node);
+
+  ArenaStats stats() const;
+
+ private:
+  PayloadArena() = default;
+
+  // Bins cover 64 B .. 1 MiB in power-of-two classes; anything larger is
+  // not worth parking (kMaxBinnedBytes) and falls through to the system
+  // allocator.
+  static constexpr std::size_t kMinBinBytes = 64;
+  static constexpr std::size_t kMaxBinnedBytes = std::size_t{1} << 20;
+  static constexpr int kBinCount = 15;  // 2^6 .. 2^20
+  /// Per-bin retention cap: bounds idle memory at kBinCount * 16 MiB.
+  static constexpr std::size_t kMaxRetainedPerBin = std::size_t{16} << 20;
+  static constexpr std::size_t kMaxFreeNodes = 1 << 16;
+
+  static int bin_index(std::size_t bytes) noexcept;
+
+  struct Bin {
+    std::mutex mutex;
+    std::vector<ByteBuffer> free;
+    std::size_t free_bytes = 0;
+  };
+
+  Bin bins_[kBinCount];
+  std::mutex nodes_mutex_;
+  std::vector<PayloadNode*> free_nodes_;
+
+  mutable std::atomic<std::uint64_t> acquires_{0};
+  mutable std::atomic<std::uint64_t> reuses_{0};
+  mutable std::atomic<std::uint64_t> releases_{0};
+  mutable std::atomic<std::uint64_t> retained_{0};
+  mutable std::atomic<std::uint64_t> node_acquires_{0};
+  mutable std::atomic<std::uint64_t> node_reuses_{0};
+};
+
+}  // namespace cid::rt

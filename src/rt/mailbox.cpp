@@ -25,7 +25,10 @@ void Mailbox::push(Envelope envelope) {
       }
       if (wake) break;
     }
-    Bucket& bucket = buckets_[bucket_id(envelope.channel, envelope.context)];
+    Bucket& bucket =
+        buckets_
+            .try_emplace(bucket_id(envelope.channel, envelope.context), &pool_)
+            .first->second;
     bucket.exact[exact_id(envelope.src, envelope.tag)].push_back(envelope.seq);
     bucket.by_seq.emplace(envelope.seq, std::move(envelope));
     ++size_;
@@ -86,7 +89,7 @@ std::optional<Mailbox::Found> Mailbox::find_predicate(
   // Merge-scan every bucket in ascending global seq order.
   struct Cursor {
     Bucket* bucket;
-    std::map<std::uint64_t, Envelope>::iterator it;
+    SeqMap::iterator it;
   };
   std::vector<Cursor> cursors;
   cursors.reserve(buckets_.size());
@@ -178,9 +181,9 @@ std::optional<Envelope> Mailbox::wait_extract_for(
     throw_if_poisoned();
     Waiter waiter{keys};
     waiters_.push_back(&waiter);
-    const std::cv_status status = arrived_.wait_until(lock, deadline);
+    const bool notified = arrived_.wait_until(lock, deadline);
     waiters_.erase(std::find(waiters_.begin(), waiters_.end(), &waiter));
-    if (status == std::cv_status::timeout) {
+    if (!notified) {
       throw_if_poisoned();
       // An arrival can race the timeout: scan once more before giving up.
       if (auto found = find_any(keys, residual, floor)) {
@@ -265,6 +268,12 @@ std::size_t Mailbox::size() const {
   return size_;
 }
 
-void Mailbox::interrupt_all() { arrived_.notify_all(); }
+void Mailbox::interrupt_all() {
+  // Pair with waiters, which hold mutex_ from their poison check until they
+  // are registered on the cv: the bracket keeps the poison store from
+  // landing between the two, which would make this notify a no-op.
+  { std::lock_guard<std::mutex> lock(mutex_); }
+  arrived_.notify_all();
+}
 
 }  // namespace cid::rt

@@ -23,12 +23,12 @@
 // all buckets in global arrival order and wakes on every push.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <limits>
 #include <map>
+#include <memory_resource>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "rt/envelope.hpp"
+#include "rt/sched.hpp"
 
 namespace cid::rt {
 
@@ -153,13 +154,21 @@ class Mailbox {
   }
 
  private:
+  /// Envelope nodes in arrival order (seq is globally monotonic). pmr: map
+  /// nodes are the per-message allocation hot spot at scale, so they come
+  /// from the mailbox's pool resource and recycle within it.
+  using SeqMap = std::pmr::map<std::uint64_t, Envelope>;
+
   /// Arrival store of one (channel, context).
   struct Bucket {
-    /// Envelopes in arrival order (seq is globally monotonic).
-    std::map<std::uint64_t, Envelope> by_seq;
+    explicit Bucket(std::pmr::memory_resource* memory)
+        : by_seq(memory), exact(memory) {}
+    /// Envelopes in arrival order.
+    SeqMap by_seq;
     /// (src, tag) -> seqs in arrival order. Entries whose envelope was
     /// extracted through another key are stale and skipped lazily.
-    std::unordered_map<std::uint64_t, std::deque<std::uint64_t>> exact;
+    std::pmr::unordered_map<std::uint64_t, std::pmr::deque<std::uint64_t>>
+        exact;
   };
 
   /// A registered blocking waiter, used by push() for targeted wakeups. An
@@ -181,7 +190,7 @@ class Mailbox {
   /// First (lowest-seq) admitted envelope with seq >= floor, or nullopt.
   struct Found {
     Bucket* bucket = nullptr;
-    std::map<std::uint64_t, Envelope>::iterator it;
+    SeqMap::iterator it;
   };
   std::optional<Found> find_in_bucket(Bucket& bucket, const MatchKey& key,
                                       const Residual* residual,
@@ -207,7 +216,13 @@ class Mailbox {
                    const Search& search);
 
   mutable std::mutex mutex_;
-  std::condition_variable arrived_;
+  /// Scheduler-aware: a fiber waiting here parks instead of blocking its
+  /// worker thread (see rt/sched.hpp).
+  sched::WaitCv arrived_;
+  /// Backing pool for bucket node storage. Unsynchronized is safe: every
+  /// container mutation happens under mutex_. Declared before buckets_ so
+  /// the containers are destroyed while the pool is still alive.
+  std::pmr::unsynchronized_pool_resource pool_;
   std::unordered_map<std::uint64_t, Bucket> buckets_;
   std::vector<const Waiter*> waiters_;
   std::uint64_t next_seq_ = 0;

@@ -3,13 +3,19 @@
 // sources, envelope copies — bumps a refcount instead of deep-copying the
 // bytes. Immutability is what makes the sharing safe: once wrapped, the bytes
 // are never written again, so any number of envelopes may alias them.
+//
+// Ownership is an intrusive refcount node recycled through PayloadArena:
+// when the last reference drops, both the node and the buffer's capacity go
+// back to the arena instead of the system allocator, so steady-state send
+// traffic allocates nothing.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
-#include <memory>
 #include <utility>
 
 #include "common/bytes.hpp"
+#include "rt/arena.hpp"
 
 namespace cid::rt {
 
@@ -18,33 +24,74 @@ class Payload {
   Payload() = default;
 
   /// Take ownership of `bytes` (no copy, empty buffers stay unallocated).
-  explicit Payload(ByteBuffer bytes)
-      : data_(bytes.empty()
-                  ? nullptr
-                  : std::make_shared<const ByteBuffer>(std::move(bytes))) {}
+  explicit Payload(ByteBuffer bytes) {
+    if (!bytes.empty()) {
+      node_ = PayloadArena::global().acquire_node();
+      node_->bytes = std::move(bytes);
+    }
+  }
 
   /// Copy `bytes` into a fresh shared buffer (for callers that only hold a
   /// view). Prefer the moving constructor on hot paths.
   static Payload copy_of(ByteSpan bytes) {
-    return Payload(ByteBuffer(bytes.begin(), bytes.end()));
+    ByteBuffer buffer = PayloadArena::global().acquire(bytes.size());
+    std::copy(bytes.begin(), bytes.end(), buffer.begin());
+    return Payload(std::move(buffer));
   }
 
-  std::size_t size() const noexcept { return data_ ? data_->size() : 0; }
+  Payload(const Payload& other) noexcept : node_(other.node_) { retain(); }
+  Payload(Payload&& other) noexcept
+      : node_(std::exchange(other.node_, nullptr)) {}
+  Payload& operator=(const Payload& other) noexcept {
+    if (node_ != other.node_) {
+      release();
+      node_ = other.node_;
+      retain();
+    }
+    return *this;
+  }
+  Payload& operator=(Payload&& other) noexcept {
+    if (this != &other) {
+      release();
+      node_ = std::exchange(other.node_, nullptr);
+    }
+    return *this;
+  }
+  ~Payload() { release(); }
+
+  std::size_t size() const noexcept { return node_ ? node_->bytes.size() : 0; }
   const std::byte* data() const noexcept {
-    return data_ ? data_->data() : nullptr;
+    return node_ ? node_->bytes.data() : nullptr;
   }
   ByteSpan span() const noexcept { return ByteSpan(data(), size()); }
-  std::byte operator[](std::size_t index) const { return (*data_)[index]; }
+  std::byte operator[](std::size_t index) const { return node_->bytes[index]; }
   bool empty() const noexcept { return size() == 0; }
 
   /// Drop this reference (tombstones carry no payload).
-  void clear() noexcept { data_.reset(); }
+  void clear() noexcept {
+    release();
+    node_ = nullptr;
+  }
 
   /// Number of envelopes currently aliasing these bytes (diagnostics/tests).
-  long use_count() const noexcept { return data_.use_count(); }
+  long use_count() const noexcept {
+    return node_ ? node_->refs.load(std::memory_order_acquire) : 0;
+  }
 
  private:
-  std::shared_ptr<const ByteBuffer> data_;
+  void retain() noexcept {
+    if (node_ != nullptr) {
+      node_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void release() noexcept {
+    if (node_ != nullptr &&
+        node_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      PayloadArena::global().release_node(node_);
+    }
+  }
+
+  PayloadNode* node_ = nullptr;
 };
 
 }  // namespace cid::rt

@@ -68,9 +68,7 @@ RunResult run(int nranks, const simnet::MachineModel& model, const RankFn& fn,
   std::exception_ptr first_failure;
 
   const bool wall_time = transport->wall_time();
-  auto rank_main = [&](int rank) {
-    RankCtx ctx(rank, world);
-    CtxScope scope(ctx);
+  auto rank_body = [&](RankCtx& ctx) {
     const double wall_begin = net::wall_seconds();
     try {
       fn(ctx);
@@ -84,9 +82,9 @@ RunResult run(int nranks, const simnet::MachineModel& model, const RankFn& fn,
     if (wall_time && obs::enabled()) {
       // On wall-clock backends the number that matters is how long the
       // rank really ran, not its (bookkeeping) virtual clock.
-      obs::span({rank, "wall", "rank_main", wall_begin,
+      obs::span({ctx.rank(), "wall", "rank_main", wall_begin,
                  net::wall_seconds(), 0, 0});
-      obs::observe("net.rank_wall_seconds", "rt", rank,
+      obs::observe("net.rank_wall_seconds", "rt", ctx.rank(),
                    net::wall_seconds() - wall_begin);
     }
   };
@@ -96,19 +94,71 @@ RunResult run(int nranks, const simnet::MachineModel& model, const RankFn& fn,
   transport->attach(world);
   const int local_begin = transport->local_rank_begin(nranks);
   const int local_count = transport->local_rank_count(nranks);
-  std::vector<std::thread> threads;
-  threads.reserve(local_count);
-  for (int r = local_begin; r < local_begin + local_count; ++r) {
-    threads.emplace_back(rank_main, r);
+
+  RunResult result;
+  // The pooled fiber scheduler only applies to the in-process virtual-time
+  // backend. Wall-clock transports (thread, tcp) measure real elapsed time
+  // per rank, so a rank must own its OS thread for the duration.
+  const bool pooled = !wall_time && !transport->cross_process() &&
+                      sched::resolve_mode(options.scheduler) ==
+                          sched::Mode::kPool;
+  if (pooled) {
+    sched::Scheduler scheduler(
+        sched::resolve_workers(options.sim_workers, local_count),
+        sched::resolve_stack_bytes(options.sim_stack_bytes));
+    // RankCtx objects live out here (not on fiber stacks): the switch hooks
+    // reference them from worker threads between switches.
+    std::vector<std::unique_ptr<RankCtx>> ctxs;
+    ctxs.reserve(local_count);
+    for (int r = local_begin; r < local_begin + local_count; ++r) {
+      ctxs.push_back(std::make_unique<RankCtx>(r, world));
+    }
+    for (auto& ctx_ptr : ctxs) {
+      RankCtx* ctx = ctx_ptr.get();
+      sched::Fiber& fiber =
+          scheduler.add([&rank_body, ctx] { rank_body(*ctx); });
+      // The rank's ambient identity (current_ctx, log rank) must follow the
+      // fiber across worker threads; the scheduler installs it on whichever
+      // worker hosts the fiber next.
+      fiber.set_switch_hooks(
+          [ctx] {
+            t_ctx = ctx;
+            log::set_thread_rank(ctx->rank());
+          },
+          [] {
+            t_ctx = nullptr;
+            log::set_thread_rank(-1);
+          });
+    }
+    scheduler.run();
+    result.pooled = true;
+    result.sched_stats = scheduler.stats();
+  } else {
+    auto rank_main = [&](int rank) {
+      RankCtx ctx(rank, world);
+      CtxScope scope(ctx);
+      rank_body(ctx);
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(local_count);
+    for (int r = local_begin; r < local_begin + local_count; ++r) {
+      threads.emplace_back(rank_main, r);
+    }
+    for (auto& thread : threads) thread.join();
   }
-  for (auto& thread : threads) thread.join();
-  // Deterministic shutdown: after every local rank joined, drain the
+  // Deterministic shutdown: after every local rank finished, drain the
   // transport (and, cross-process, synchronize the teardown).
   transport->detach();
 
   if (first_failure) std::rethrow_exception(first_failure);
 
-  RunResult result;
+  if (result.pooled && obs::enabled()) {
+    // Only the deterministic facts go to obs (exports must stay
+    // byte-reproducible); the schedule-dependent park/switch counts are
+    // returned in RunResult instead.
+    obs::count("rt.sched.workers", "sched", 0, result.sched_stats.workers);
+    obs::count("rt.sched.fibers", "sched", 0, result.sched_stats.fibers);
+  }
   result.final_clocks.reserve(nranks);
   for (int r = 0; r < nranks; ++r) {
     result.final_clocks.push_back(world.clock(r).now());

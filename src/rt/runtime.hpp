@@ -1,11 +1,17 @@
-// SPMD launcher: runs one function on `nranks` rank-threads over a shared
-// World. Ranks wait via condition variables, never spin, so heavily
-// oversubscribed runs (hundreds of ranks on a few cores) are fine.
+// SPMD launcher. On the virtual-time (sim) backend ranks run as fibers
+// multiplexed over a bounded worker pool (rt/sched.hpp), so O(10k)-rank
+// simulations cost CID_SIM_WORKERS OS threads; wall-clock and cross-process
+// transports keep one OS thread per rank. Ranks wait via scheduler-aware
+// condition variables, never spin, so heavily oversubscribed runs are fine
+// in either mode.
 #pragma once
 
 #include <functional>
+#include <map>
+#include <memory>
 #include <vector>
 
+#include "rt/sched.hpp"
 #include "rt/world.hpp"
 #include "simnet/machine_model.hpp"
 #include "simnet/virtual_clock.hpp"
@@ -34,9 +40,17 @@ class RankCtx {
   /// Runtime-level barrier (max-reduces virtual clocks).
   void barrier() { world_->barrier(rank_); }
 
+  /// Rank-local storage: one slot per unique key address, created empty on
+  /// first use. This is where facilities keep per-rank state that used to
+  /// live in a thread_local (executor state, trace sinks) — a thread_local
+  /// is wrong under the pooled scheduler, where many ranks share one worker
+  /// thread. Only the owning rank touches its slots, so no locking.
+  std::shared_ptr<void>& local_slot(const void* key) { return locals_[key]; }
+
  private:
   int rank_;
   World* world_;
+  std::map<const void*, std::shared_ptr<void>> locals_;
 };
 
 /// The rank function: the body of the SPMD program.
@@ -45,6 +59,14 @@ using RankFn = std::function<void(RankCtx&)>;
 struct RunResult {
   /// Final virtual clock of each rank when its function returned.
   std::vector<simnet::SimTime> final_clocks;
+
+  /// True when the pooled fiber scheduler ran the ranks (sim backend).
+  bool pooled = false;
+
+  /// Scheduler counters for the run (all zero when pooled is false). The
+  /// park/switch counts depend on wall-clock interleaving — informational,
+  /// never part of deterministic output.
+  sched::SchedStats sched_stats;
 
   /// Latest final clock: the virtual makespan of the run.
   simnet::SimTime makespan() const noexcept;
@@ -60,6 +82,17 @@ struct RunOptions {
   /// docs/TRANSPORTS.md. On cross-process transports run() spawns only the
   /// ranks this process hosts.
   std::shared_ptr<net::Transport> transport;
+  /// Rank scheduling on the virtual-time backend: kAuto resolves
+  /// CID_SIM_SCHED ("pool" | "threads"), defaulting to the pooled fiber
+  /// scheduler. Wall-clock / cross-process transports always run
+  /// thread-per-rank regardless of this setting.
+  sched::Mode scheduler = sched::Mode::kAuto;
+  /// Worker threads for the pooled scheduler; 0 resolves CID_SIM_WORKERS,
+  /// then hardware concurrency.
+  int sim_workers = 0;
+  /// Per-fiber stack bytes; 0 resolves CID_SIM_STACK_KB, then 1 MiB. The
+  /// pages map lazily, so the cost of a large default is virtual.
+  std::size_t sim_stack_bytes = 0;
 };
 
 /// Execute `fn` on `nranks` ranks over a fresh World. Rethrows the first

@@ -1,0 +1,390 @@
+#include "rt/sched.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+// Sanitizer fiber annotations. ASan needs to be told about every stack
+// switch so its fake-stack machinery follows the fiber; TSan models each
+// fiber as its own logical thread so lock/happens-before state stays
+// attached to the rank, not the worker that happens to host it.
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CID_SCHED_ASAN 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define CID_SCHED_TSAN 1
+#endif
+#endif
+#if !defined(CID_SCHED_ASAN) && defined(__SANITIZE_ADDRESS__)
+#define CID_SCHED_ASAN 1
+#endif
+#if !defined(CID_SCHED_TSAN) && defined(__SANITIZE_THREAD__)
+#define CID_SCHED_TSAN 1
+#endif
+
+#if defined(CID_SCHED_ASAN)
+#include <sanitizer/asan_interface.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
+#if defined(CID_SCHED_TSAN)
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace cid::rt::sched {
+
+namespace {
+
+thread_local Fiber* t_current_fiber = nullptr;
+#if defined(CID_SCHED_TSAN)
+thread_local void* t_worker_tsan_fiber = nullptr;
+#endif
+
+std::size_t page_size() {
+  static const std::size_t page =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+std::size_t round_up_pages(std::size_t bytes) {
+  const std::size_t page = page_size();
+  return (bytes + page - 1) / page * page;
+}
+
+}  // namespace
+
+Fiber* Fiber::current() noexcept { return t_current_fiber; }
+
+Fiber::Fiber(Scheduler& scheduler, std::function<void()> entry,
+             std::size_t stack_bytes)
+    : scheduler_(scheduler), entry_(std::move(entry)) {
+  const std::size_t page = page_size();
+  stack_bytes_ = round_up_pages(stack_bytes);
+  map_bytes_ = stack_bytes_ + page;  // one guard page below the stack
+  void* base = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) {
+    throw std::runtime_error("cid::rt::sched: fiber stack mmap failed");
+  }
+  map_base_ = static_cast<std::byte*>(base);
+  if (::mprotect(map_base_, page, PROT_NONE) != 0) {
+    ::munmap(map_base_, map_bytes_);
+    throw std::runtime_error("cid::rt::sched: fiber guard mprotect failed");
+  }
+  stack_lo_ = map_base_ + page;
+
+  if (::getcontext(&context_) != 0) {
+    ::munmap(map_base_, map_bytes_);
+    throw std::runtime_error("cid::rt::sched: getcontext failed");
+  }
+  context_.uc_stack.ss_sp = stack_lo_;
+  context_.uc_stack.ss_size = stack_bytes_;
+  context_.uc_link = nullptr;  // final return goes through suspend()
+
+  // makecontext only passes ints; smuggle `this` through two halves.
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  ::makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::trampoline),
+                2, static_cast<unsigned>(self >> 32),
+                static_cast<unsigned>(self & 0xffffffffu));
+
+#if defined(CID_SCHED_TSAN)
+  tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+}
+
+Fiber::~Fiber() {
+#if defined(CID_SCHED_TSAN)
+  if (tsan_fiber_ != nullptr) __tsan_destroy_fiber(tsan_fiber_);
+#endif
+  if (map_base_ != nullptr) ::munmap(map_base_, map_bytes_);
+}
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) |
+      static_cast<std::uintptr_t>(lo));
+  self->entry_point();
+}
+
+void Fiber::entry_point() {
+#if defined(CID_SCHED_ASAN)
+  // Complete the switch the dispatching worker started, remembering the
+  // worker stack we must return to.
+  __sanitizer_finish_switch_fiber(nullptr, &caller_stack_bottom_,
+                                  &caller_stack_size_);
+#endif
+  entry_();
+  state_.store(kDone, std::memory_order_release);
+  // Final switch back to the hosting worker. ASan gets a null fake-stack
+  // slot: this fiber's stack is dead and must not be revived.
+#if defined(CID_SCHED_ASAN)
+  __sanitizer_start_switch_fiber(nullptr, caller_stack_bottom_,
+                                 caller_stack_size_);
+#endif
+#if defined(CID_SCHED_TSAN)
+  __tsan_switch_to_fiber(tsan_return_, 0);
+#endif
+  ::swapcontext(&context_, return_link_);
+  // Unreachable: a kDone fiber is never resumed.
+  std::abort();
+}
+
+void Fiber::suspend() {
+#if defined(CID_SCHED_ASAN)
+  __sanitizer_start_switch_fiber(&asan_fake_stack_, caller_stack_bottom_,
+                                 caller_stack_size_);
+#endif
+#if defined(CID_SCHED_TSAN)
+  __tsan_switch_to_fiber(tsan_return_, 0);
+#endif
+  ::swapcontext(&context_, return_link_);
+  // Resumed, possibly on a different worker thread; dispatch() has already
+  // refreshed return_link_/tsan_return_ for the new host.
+#if defined(CID_SCHED_ASAN)
+  __sanitizer_finish_switch_fiber(asan_fake_stack_, &caller_stack_bottom_,
+                                  &caller_stack_size_);
+#endif
+}
+
+Scheduler::Scheduler(int workers, std::size_t stack_bytes)
+    : stack_bytes_(stack_bytes), worker_count_(workers < 1 ? 1 : workers) {}
+
+Scheduler::~Scheduler() = default;
+
+Fiber& Scheduler::add(std::function<void()> entry) {
+  fibers_.push_back(std::unique_ptr<Fiber>(
+      new Fiber(*this, std::move(entry), stack_bytes_)));
+  return *fibers_.back();
+}
+
+void Scheduler::enqueue(Fiber* fiber) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    run_queue_.push_back(fiber);
+  }
+  queue_cv_.notify_one();
+}
+
+void Scheduler::unpark(Fiber* fiber) {
+  for (;;) {
+    int state = fiber->state_.load(std::memory_order_acquire);
+    switch (state) {
+      case Fiber::kParked:
+        if (fiber->state_.compare_exchange_weak(state, Fiber::kRunnable,
+                                                std::memory_order_acq_rel)) {
+          enqueue(fiber);
+          return;
+        }
+        break;  // lost a race; re-read
+      case Fiber::kParking:
+        // The fiber is still switching out; mark it so the hosting worker
+        // re-enqueues it instead of leaving it parked.
+        if (fiber->state_.compare_exchange_weak(state, Fiber::kNotified,
+                                                std::memory_order_acq_rel)) {
+          return;
+        }
+        break;
+      default:
+        // Runnable / Running / Notified / Done: a wakeup is already
+        // pending or meaningless.
+        return;
+    }
+  }
+}
+
+void Scheduler::dispatch(Fiber* fiber, ucontext_t* worker_context) {
+  fiber->return_link_ = worker_context;
+#if defined(CID_SCHED_TSAN)
+  fiber->tsan_return_ = t_worker_tsan_fiber;
+#endif
+  fiber->state_.store(Fiber::kRunning, std::memory_order_release);
+  t_current_fiber = fiber;
+  if (fiber->on_switch_in_) fiber->on_switch_in_();
+  switches_.fetch_add(1, std::memory_order_relaxed);
+
+#if defined(CID_SCHED_ASAN)
+  void* worker_fake_stack = nullptr;
+  __sanitizer_start_switch_fiber(&worker_fake_stack, fiber->stack_lo_,
+                                 fiber->stack_bytes_);
+#endif
+#if defined(CID_SCHED_TSAN)
+  __tsan_switch_to_fiber(fiber->tsan_fiber_, 0);
+#endif
+  ::swapcontext(worker_context, &fiber->context_);
+#if defined(CID_SCHED_ASAN)
+  __sanitizer_finish_switch_fiber(worker_fake_stack, nullptr, nullptr);
+#endif
+
+  if (fiber->on_switch_out_) fiber->on_switch_out_();
+  t_current_fiber = nullptr;
+
+  int state = fiber->state_.load(std::memory_order_acquire);
+  if (state == Fiber::kDone) {
+    bool all_done = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      ++finished_;
+      all_done = finished_ == fibers_.size();
+    }
+    if (all_done) queue_cv_.notify_all();
+    return;
+  }
+
+  // The fiber parked. Complete Parking -> Parked; if an unpark already
+  // intervened (Notified) the wakeup is ours to deliver.
+  parks_.fetch_add(1, std::memory_order_relaxed);
+  int expected = Fiber::kParking;
+  if (!fiber->state_.compare_exchange_strong(expected, Fiber::kParked,
+                                             std::memory_order_acq_rel)) {
+    assert(expected == Fiber::kNotified);
+    fiber->state_.store(Fiber::kRunnable, std::memory_order_release);
+    enqueue(fiber);
+  }
+}
+
+void Scheduler::worker_loop() {
+#if defined(CID_SCHED_TSAN)
+  t_worker_tsan_fiber = __tsan_get_current_fiber();
+#endif
+  ucontext_t worker_context;
+  for (;;) {
+    Fiber* fiber = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] {
+        return !run_queue_.empty() || stopping_ ||
+               finished_ == fibers_.size();
+      });
+      if (run_queue_.empty()) {
+        if (stopping_ || finished_ == fibers_.size()) return;
+        continue;
+      }
+      fiber = run_queue_.front();
+      run_queue_.pop_front();
+    }
+    dispatch(fiber, &worker_context);
+  }
+}
+
+void Scheduler::run() {
+  if (fibers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (auto& fiber : fibers_) run_queue_.push_back(fiber.get());
+  }
+  const int workers =
+      worker_count_ < static_cast<int>(fibers_.size())
+          ? worker_count_
+          : static_cast<int>(fibers_.size());
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    pool.emplace_back([this] { worker_loop(); });
+  }
+  for (auto& thread : pool) thread.join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+}
+
+SchedStats Scheduler::stats() const noexcept {
+  SchedStats s;
+  s.switches = switches_.load(std::memory_order_relaxed);
+  s.parks = parks_.load(std::memory_order_relaxed);
+  s.workers = static_cast<std::uint64_t>(worker_count_);
+  s.fibers = static_cast<std::uint64_t>(fibers_.size());
+  return s;
+}
+
+void yield() {
+  Fiber* fiber = Fiber::current();
+  if (fiber == nullptr) {
+    std::this_thread::yield();
+    return;
+  }
+  // kNotified makes the hosting worker re-enqueue us immediately after the
+  // switch-out, exactly like a park that was unparked mid-flight. Nobody
+  // else can touch the state: we are not on any waitlist.
+  fiber->state_.store(Fiber::kNotified, std::memory_order_release);
+  fiber->suspend();
+}
+
+void WaitCv::wait(std::unique_lock<std::mutex>& lock) {
+  Fiber* fiber = Fiber::current();
+  if (fiber == nullptr) {
+    cv_.wait(lock);
+    return;
+  }
+  // Publish intent and register while still holding the caller's mutex:
+  // any notifier ordered after our predicate check must acquire either
+  // that mutex or waiters_mutex_, and will therefore see us.
+  fiber->state_.store(Fiber::kParking, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> waiters_lock(waiters_mutex_);
+    fiber_waiters_.push_back(fiber);
+  }
+  lock.unlock();
+  fiber->suspend();
+  lock.lock();
+}
+
+bool WaitCv::wait_until(std::unique_lock<std::mutex>& lock,
+                        std::chrono::steady_clock::time_point deadline) {
+  // Timed waits block the calling thread even on a fiber; see header.
+  return cv_.wait_until(lock, deadline) == std::cv_status::no_timeout;
+}
+
+void WaitCv::notify_all() {
+  std::vector<Fiber*> woken;
+  {
+    std::lock_guard<std::mutex> waiters_lock(waiters_mutex_);
+    woken.swap(fiber_waiters_);
+  }
+  for (Fiber* fiber : woken) fiber->scheduler_.unpark(fiber);
+  cv_.notify_all();
+}
+
+Mode resolve_mode(Mode requested) {
+  if (requested != Mode::kAuto) return requested;
+  if (const char* env = std::getenv("CID_SIM_SCHED")) {
+    if (std::strcmp(env, "threads") == 0) return Mode::kThreads;
+    if (std::strcmp(env, "pool") == 0) return Mode::kPool;
+  }
+  return Mode::kPool;
+}
+
+int resolve_workers(int requested, int nranks) {
+  int workers = requested;
+  if (workers <= 0) {
+    if (const char* env = std::getenv("CID_SIM_WORKERS")) {
+      workers = std::atoi(env);
+    }
+  }
+  if (workers <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    workers = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  if (nranks > 0 && workers > nranks) workers = nranks;
+  return workers < 1 ? 1 : workers;
+}
+
+std::size_t resolve_stack_bytes(std::size_t requested) {
+  std::size_t bytes = requested;
+  if (bytes == 0) {
+    if (const char* env = std::getenv("CID_SIM_STACK_KB")) {
+      const long kb = std::atol(env);
+      if (kb > 0) bytes = static_cast<std::size_t>(kb) * 1024;
+    }
+  }
+  if (bytes == 0) bytes = 1024 * 1024;  // 1 MiB virtual; pages map lazily
+  if (bytes < 64 * 1024) bytes = 64 * 1024;
+  return bytes;
+}
+
+}  // namespace cid::rt::sched

@@ -21,6 +21,23 @@ World::World(int nranks, simnet::MachineModel model)
     mailboxes_.back()->set_poison_check([this] { return poisoned(); });
     signals_.push_back(std::make_unique<RankSignal>());
   }
+  const int shard_count = (nranks + kBarrierShardSize - 1) / kBarrierShardSize;
+  barrier_shards_.reserve(shard_count);
+  for (int s = 0; s < shard_count; ++s) {
+    barrier_shards_.push_back(std::make_unique<BarrierShard>());
+  }
+  rebuild_barrier_shards();
+}
+
+void World::rebuild_barrier_shards() {
+  for (auto& shard : barrier_shards_) shard->expected = 0;
+  barrier_root_.active_shards = 0;
+  for (int r = 0; r < nranks_; ++r) {
+    if (rank_is_local(r)) ++shard_of(r).expected;
+  }
+  for (auto& shard : barrier_shards_) {
+    if (shard->expected > 0) ++barrier_root_.active_shards;
+  }
 }
 
 void World::set_transport(std::shared_ptr<net::Transport> transport) {
@@ -34,6 +51,7 @@ void World::set_transport(std::shared_ptr<net::Transport> transport) {
   }
   CID_REQUIRE(barrier_participants_ > 0, ErrorCode::InvalidArgument,
               "transport hosts no ranks in this process");
+  rebuild_barrier_shards();
 }
 
 void World::require_single_process(const std::string& what) const {
@@ -103,30 +121,71 @@ void World::deliver(int dest, Envelope envelope) {
 
 void World::barrier(int rank, simnet::SimTime cost) {
   check_poisoned();
-  std::unique_lock<std::mutex> lock(barrier_.mutex);
-  barrier_.max_clock = std::max(barrier_.max_clock, clocks_[rank].now());
-  if (++barrier_.arrived == barrier_participants_) {
-    // The last locally-arriving rank folds the other processes' maxima in
-    // through the transport (identity for in-process transports, so the
-    // simulator's barrier arithmetic is untouched).
-    simnet::SimTime global_max = barrier_.max_clock;
-    if (transport_ != nullptr) {
-      global_max = transport_->barrier_sync(global_max);
-    }
-    const simnet::SimTime release_time = global_max + cost;
-    for (auto& clock : clocks_) clock.reset(release_time);
-    barrier_.arrived = 0;
-    barrier_.max_clock = 0.0;
-    ++barrier_.generation;
-    lock.unlock();
-    barrier_.released.notify_all();
+  BarrierShard& shard = shard_of(rank);
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  shard.max_clock = std::max(shard.max_clock, clocks_[rank].now());
+  const std::uint64_t my_generation = shard.generation;
+  if (++shard.arrived < shard.expected) {
+    shard.released.wait(lock, [&] {
+      return shard.generation != my_generation || poisoned();
+    });
+    check_poisoned();
     return;
   }
-  const std::uint64_t my_generation = barrier_.generation;
-  barrier_.released.wait(lock, [&] {
-    return barrier_.generation != my_generation || poisoned();
-  });
-  check_poisoned();
+
+  // Shard closer: fold this shard's max into the root. The shard lock can
+  // drop first — every other rank of this shard is parked until the next
+  // generation is published, so nobody mutates the shard behind our back.
+  const simnet::SimTime shard_max = shard.max_clock;
+  lock.unlock();
+  bool global_last = false;
+  simnet::SimTime global_max = 0.0;
+  {
+    std::lock_guard<std::mutex> root_lock(barrier_root_.mutex);
+    barrier_root_.max_clock = std::max(barrier_root_.max_clock, shard_max);
+    if (++barrier_root_.shards_arrived == barrier_root_.active_shards) {
+      global_last = true;
+      global_max = barrier_root_.max_clock;
+      // Reset the root before any shard is released: a woken rank may
+      // re-enter the next barrier and close its shard again immediately.
+      barrier_root_.shards_arrived = 0;
+      barrier_root_.max_clock = 0.0;
+    }
+  }
+  if (!global_last) {
+    lock.lock();
+    shard.released.wait(lock, [&] {
+      return shard.generation != my_generation || poisoned();
+    });
+    check_poisoned();
+    return;
+  }
+
+  // Global releaser: exactly the pre-sharding arithmetic. The last
+  // locally-arriving rank folds the other processes' maxima in through the
+  // transport (identity for in-process transports, so the simulator's
+  // barrier arithmetic is untouched), then resets every clock to the common
+  // release time.
+  if (transport_ != nullptr) {
+    global_max = transport_->barrier_sync(global_max);
+  }
+  const simnet::SimTime release_time = global_max + cost;
+  for (auto& clock : clocks_) clock.reset(release_time);
+  // Publish generation G+1 shard by shard. A rank woken from an early shard
+  // can race ahead into the next barrier, but it cannot finish that barrier
+  // before we release the last shard here, because that shard's ranks are
+  // still parked on generation G.
+  for (auto& shard_ptr : barrier_shards_) {
+    BarrierShard& s = *shard_ptr;
+    if (s.expected == 0) continue;
+    {
+      std::lock_guard<std::mutex> shard_lock(s.mutex);
+      s.arrived = 0;
+      s.max_clock = 0.0;
+      ++s.generation;
+    }
+    s.released.notify_all();
+  }
 }
 
 void World::poison() noexcept {
@@ -135,8 +194,19 @@ void World::poison() noexcept {
     transport_->interrupt();  // wake ranks blocked inside barrier_sync
   }
   for (auto& mailbox : mailboxes_) mailbox->interrupt_all();
-  barrier_.released.notify_all();
-  for (auto& signal : signals_) signal->changed.notify_all();
+  // The empty lock/unlock brackets pair with each waiter, which holds the
+  // corresponding mutex from its predicate check until it is registered on
+  // the cv: without them the store above could land between a check and the
+  // park and the notify would find no one.
+  for (auto& shard : barrier_shards_) {
+    { std::lock_guard<std::mutex> lock(shard->mutex); }
+    shard->released.notify_all();
+  }
+  for (auto& signal : signals_) {
+    { std::lock_guard<std::mutex> lock(signal->mutex); }
+    signal->changed.notify_all();
+  }
+  { std::lock_guard<std::mutex> lock(global_mutex_); }
   global_cv_.notify_all();
 }
 

@@ -14,6 +14,7 @@
 
 #include "common/error.hpp"
 #include "rt/mailbox.hpp"
+#include "rt/sched.hpp"
 #include "simnet/machine_model.hpp"
 #include "simnet/virtual_clock.hpp"
 
@@ -100,6 +101,14 @@ class World {
   /// clock is set to max(arrival clocks) + cost. `cost` defaults to the
   /// machine model's barrier cost; pass 0 for a pure synchronization point
   /// (used by test harnesses).
+  ///
+  /// Internally sharded for O(10k) ranks: ranks combine into per-shard
+  /// {mutex, cv, max} groups of kBarrierShardSize, the last rank of each
+  /// shard propagates to a small root, and release walks the shards with
+  /// targeted per-shard wakeups instead of one notify_all storm over a
+  /// single contended mutex. The released clock value is computed exactly
+  /// as before (global max + cost, every clock reset), so results stay
+  /// byte-identical.
   void barrier(int rank, simnet::SimTime cost);
   void barrier(int rank) { barrier(rank, model_.barrier_cost(nranks_)); }
 
@@ -143,7 +152,7 @@ class World {
   /// by `lock`) is true; throws if the world is poisoned.
   void wait_global(std::unique_lock<std::mutex>& lock,
                    const std::function<bool()>& condition);
-  void notify_global() noexcept { global_cv_.notify_all(); }
+  void notify_global() { global_cv_.notify_all(); }
 
   /// Per-rank signal used by one-sided layers: notify after writing remote
   /// memory so a rank blocked in wait_until() re-checks its condition.
@@ -153,21 +162,45 @@ class World {
   void wait_on_signal(int rank, const std::function<bool()>& condition);
 
  private:
-  struct BarrierState {
+  /// Barrier combining-tree fan-in: ranks [s*64, s*64+64) share shard s.
+  /// 64 keeps shard state on a handful of cache lines while bounding the
+  /// root's fan-in at nranks/64 (157 shards for 10k ranks).
+  static constexpr int kBarrierShardSize = 64;
+
+  /// One leaf of the combining tree: the only mutex/cv most ranks touch.
+  struct BarrierShard {
     std::mutex mutex;
-    std::condition_variable released;
+    sched::WaitCv released;
     int arrived = 0;
+    int expected = 0;  ///< local participants with rank in this shard
     std::uint64_t generation = 0;
+    simnet::SimTime max_clock = 0.0;
+  };
+
+  /// The tree root: touched once per shard per barrier, not once per rank.
+  struct BarrierRoot {
+    std::mutex mutex;
+    int shards_arrived = 0;
+    int active_shards = 0;  ///< shards with expected > 0
     simnet::SimTime max_clock = 0.0;
   };
 
   struct RankSignal {
     std::mutex mutex;
-    std::condition_variable changed;
+    sched::WaitCv changed;
   };
 
   /// Hand one envelope to the transport (or push directly when none).
   void route(int dest, Envelope envelope);
+
+  /// (Re)compute per-shard participant counts; called on construction and
+  /// whenever the transport (and thus the local rank slice) changes.
+  void rebuild_barrier_shards();
+
+  BarrierShard& shard_of(int rank) {
+    return *barrier_shards_[static_cast<std::size_t>(rank) /
+                            kBarrierShardSize];
+  }
 
   int nranks_;
   simnet::MachineModel model_;
@@ -181,11 +214,12 @@ class World {
   bool transport_real_loss_ = false;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<simnet::VirtualClock> clocks_;
-  BarrierState barrier_;
+  std::vector<std::unique_ptr<BarrierShard>> barrier_shards_;
+  BarrierRoot barrier_root_;
   std::vector<std::unique_ptr<RankSignal>> signals_;
   std::atomic<bool> poisoned_{false};
   std::mutex global_mutex_;
-  std::condition_variable global_cv_;
+  sched::WaitCv global_cv_;
   std::mutex registry_mutex_;
   std::map<std::string, std::any> registry_;
 };

@@ -9,6 +9,8 @@
 #include <span>
 #include <vector>
 
+#include "rt/arena.hpp"
+#include "rt/payload.hpp"
 #include "rt/runtime.hpp"
 
 namespace {
@@ -416,6 +418,198 @@ TEST(MachineModel, DeliveryTimeScalesWithSize) {
               (static_cast<double>((1 << 20) - 8)) / path.bytes_per_second +
                   path.rendezvous_extra_latency,
               1e-12);
+}
+
+// ---- Pooled fiber scheduler ------------------------------------------------
+
+namespace sched = cid::rt::sched;
+
+/// A program touching every virtual-time mechanism: compute, ring
+/// messaging, and barriers. Used to pin pool/threads equivalence.
+void ring_program(RankCtx& ctx) {
+  const int np = ctx.nranks();
+  const int next = (ctx.rank() + 1) % np;
+  ctx.charge_compute(1e-6 * (ctx.rank() + 1));
+  ctx.barrier();
+  cid::rt::Envelope envelope;
+  envelope.src = ctx.rank();
+  envelope.tag = 7;
+  envelope.available_at = ctx.clock().now() + 2e-6;
+  ctx.world().mailbox(next).push(std::move(envelope));
+  auto got = ctx.mailbox().wait_extract(
+      [](const cid::rt::Envelope&) { return true; });
+  ctx.clock().advance_to(got.available_at);
+  ctx.barrier();
+}
+
+TEST(Sched, PoolAndThreadsProduceIdenticalClocks) {
+  // Virtual time must not depend on the scheduler: same program, same model,
+  // bit-identical final clocks under the fiber pool and thread-per-rank.
+  cid::rt::RunOptions pool;
+  pool.scheduler = sched::Mode::kPool;
+  cid::rt::RunOptions threads;
+  threads.scheduler = sched::Mode::kThreads;
+  const auto model = MachineModel::cray_xk7_gemini();
+  auto pooled = cid::rt::run(33, model, ring_program, pool);
+  auto threaded = cid::rt::run(33, model, ring_program, threads);
+  EXPECT_TRUE(pooled.pooled);
+  EXPECT_FALSE(threaded.pooled);
+  ASSERT_EQ(pooled.final_clocks.size(), threaded.final_clocks.size());
+  for (std::size_t r = 0; r < pooled.final_clocks.size(); ++r) {
+    EXPECT_EQ(pooled.final_clocks[r], threaded.final_clocks[r]) << "rank " << r;
+  }
+}
+
+TEST(Sched, ThousandsOfRanksOnTwoWorkers) {
+  // O(nranks) fibers over a tiny fixed pool: barriers (sharded), ring
+  // traffic, and compute all terminate, with exactly the requested workers.
+  cid::rt::RunOptions options;
+  options.scheduler = sched::Mode::kPool;
+  options.sim_workers = 2;
+  auto result =
+      cid::rt::run(2048, MachineModel::zero(), ring_program, options);
+  EXPECT_TRUE(result.pooled);
+  EXPECT_EQ(result.sched_stats.workers, 2u);
+  EXPECT_EQ(result.sched_stats.fibers, 2048u);
+  EXPECT_EQ(result.final_clocks.size(), 2048u);
+}
+
+TEST(Sched, YieldLetsBusyPollersMakeProgress) {
+  // A non-blocking poll loop must yield its worker or the polled-for peer
+  // never runs on a bounded pool. sched::yield() is that escape hatch (the
+  // mpi::test / iprobe miss paths call it).
+  cid::rt::RunOptions options;
+  options.scheduler = sched::Mode::kPool;
+  options.sim_workers = 1;
+  auto result = cid::rt::run(
+      4, MachineModel::zero(),
+      [](RankCtx& ctx) {
+        if (ctx.rank() == 0) {
+          for (int dest = 1; dest < ctx.nranks(); ++dest) {
+            cid::rt::Envelope envelope;
+            envelope.src = 0;
+            ctx.world().mailbox(dest).push(std::move(envelope));
+          }
+        } else {
+          while (true) {
+            auto got = ctx.mailbox().try_extract(
+                [](const cid::rt::Envelope&) { return true; });
+            if (got.has_value()) break;
+            sched::yield();
+          }
+        }
+      },
+      options);
+  EXPECT_TRUE(result.pooled);
+}
+
+TEST(Sched, SmallExplicitStacksWork) {
+  cid::rt::RunOptions options;
+  options.scheduler = sched::Mode::kPool;
+  options.sim_stack_bytes = 64 * 1024;  // the enforced minimum
+  auto result = cid::rt::run(64, MachineModel::zero(), ring_program, options);
+  EXPECT_EQ(result.final_clocks.size(), 64u);
+}
+
+TEST(Sched, PoisonDuringThousandRankBarrier) {
+  // One rank of a 1000-rank world dies while every other rank is inside the
+  // sharded barrier; the poison must wake all shards and the run must
+  // rethrow after a clean teardown. (The TSan CI shard runs this test.)
+  cid::rt::RunOptions options;
+  options.scheduler = sched::Mode::kPool;
+  EXPECT_THROW(
+      cid::rt::run(
+          1000, MachineModel::zero(),
+          [](RankCtx& ctx) {
+            if (ctx.rank() == 613) {
+              throw std::runtime_error("mid-barrier failure");
+            }
+            ctx.barrier();
+          },
+          options),
+      std::runtime_error);
+}
+
+TEST(Sched, PoisonWakesMailboxAndBarrierWaitersTogether) {
+  // Mixed blocking: half the ranks in the barrier, half in mailbox waits,
+  // and the failing rank poisons both kinds at once.
+  cid::rt::RunOptions options;
+  options.scheduler = sched::Mode::kPool;
+  EXPECT_THROW(
+      cid::rt::run(
+          256, MachineModel::zero(),
+          [](RankCtx& ctx) {
+            if (ctx.rank() == 0) throw std::runtime_error("die");
+            if (ctx.rank() % 2 == 0) {
+              ctx.barrier();
+            } else {
+              ctx.mailbox().wait_extract(
+                  [](const cid::rt::Envelope&) { return true; });
+            }
+          },
+          options),
+      std::runtime_error);
+}
+
+// ---- Envelope arena --------------------------------------------------------
+
+TEST(Arena, RecyclesPayloadBuffers) {
+  auto& arena = cid::rt::PayloadArena::global();
+  const auto before = arena.stats();
+  cid::ByteBuffer buffer = arena.acquire(4096);
+  EXPECT_EQ(buffer.size(), 4096u);
+  arena.release(std::move(buffer));
+  const auto mid = arena.stats();
+  EXPECT_EQ(mid.releases, before.releases + 1);
+  EXPECT_EQ(mid.retained, before.retained + 1);
+  // Re-acquiring the same size class must come from the bin, not malloc.
+  cid::ByteBuffer again = arena.acquire(4000);  // same power-of-two bin
+  const auto after = arena.stats();
+  EXPECT_EQ(again.size(), 4000u);
+  EXPECT_EQ(after.reuses, mid.reuses + 1);
+  arena.release(std::move(again));
+}
+
+TEST(Arena, RecycledBuffersAreZeroed) {
+  auto& arena = cid::rt::PayloadArena::global();
+  cid::ByteBuffer buffer = arena.acquire(512);
+  for (auto& b : buffer) b = std::byte{0xAB};
+  arena.release(std::move(buffer));
+  cid::ByteBuffer again = arena.acquire(512);
+  for (std::byte b : again) {
+    ASSERT_EQ(b, std::byte{0});  // same value-init guarantee as a fresh buffer
+  }
+  arena.release(std::move(again));
+}
+
+TEST(Arena, PayloadRefcountsThroughArenaNodes) {
+  cid::ByteBuffer bytes(128);
+  bytes[0] = std::byte{42};
+  cid::rt::Payload payload(std::move(bytes));
+  EXPECT_EQ(payload.use_count(), 1);
+  {
+    cid::rt::Payload copy = payload;  // shares the node
+    EXPECT_EQ(payload.use_count(), 2);
+    EXPECT_EQ(copy.data()[0], std::byte{42});
+  }
+  EXPECT_EQ(payload.use_count(), 1);
+  cid::rt::Payload deep = cid::rt::Payload::copy_of(payload.span());
+  EXPECT_EQ(deep.use_count(), 1);
+  EXPECT_EQ(deep.data()[0], std::byte{42});
+}
+
+TEST(Arena, EnvelopeChurnReusesNodes) {
+  auto& arena = cid::rt::PayloadArena::global();
+  const auto before = arena.stats();
+  // Drive payloads through create/destroy churn; the node freelist and
+  // buffer bins must absorb it (recycled counters move, not just released).
+  for (int i = 0; i < 64; ++i) {
+    cid::rt::Payload payload(cid::ByteBuffer(256));
+    cid::rt::Payload copy = payload;
+    payload.clear();
+  }
+  const auto after = arena.stats();
+  EXPECT_GE(after.node_reuses, before.node_reuses + 32);
 }
 
 }  // namespace

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Gate a fresh BENCH_scale.json against the committed one.
+
+Usage: check_bench.py COMMITTED.json FRESH.json [--tolerance 0.20]
+
+For every workload row present in BOTH files (matched on name + ranks),
+fails (exit 1) when the fresh envelopes_per_sec is more than `tolerance`
+below the committed value. Faster is never a failure; rows only one side
+has (e.g. the committed full 1k/4k/10k sweep vs a --quick CI run) are
+skipped. Wall-clock benches are noisy, so the default tolerance is a
+generous 20% — the gate exists to catch "the scheduler fell off a cliff",
+not single-digit jitter.
+"""
+
+import argparse
+import json
+import sys
+
+
+def rows(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("bench") != "scale":
+        sys.exit(f"{path}: not a BENCH_scale.json (bench={data.get('bench')!r})")
+    return {(w["name"], w["ranks"]): w for w in data["workloads"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("committed")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    args = parser.parse_args()
+
+    committed = rows(args.committed)
+    fresh = rows(args.fresh)
+    shared = sorted(set(committed) & set(fresh))
+    if not shared:
+        sys.exit("no (workload, ranks) rows in common; nothing to gate")
+
+    failures = []
+    for key in shared:
+        base = committed[key]["envelopes_per_sec"]
+        now = fresh[key]["envelopes_per_sec"]
+        ratio = now / base if base > 0 else float("inf")
+        marker = "FAIL" if ratio < 1.0 - args.tolerance else "ok"
+        print(f"{key[0]:>10} @ {key[1]:>6} ranks: "
+              f"{base:>12.0f} -> {now:>12.0f} env/sec ({ratio:5.2f}x) {marker}")
+        if marker == "FAIL":
+            failures.append(key)
+
+    if failures:
+        names = ", ".join(f"{n}@{r}" for n, r in failures)
+        sys.exit(f"envelopes/sec regressed more than "
+                 f"{args.tolerance:.0%} vs {args.committed}: {names}")
+    print(f"{len(shared)} row(s) within {args.tolerance:.0%} of committed")
+
+
+if __name__ == "__main__":
+    main()

@@ -147,8 +147,11 @@ class Walker {
       }
     }
     if (const auto* clause = merged.find("reliability")) {
+      // TARGET_COMM_AUTO is fine: the runtime tuner forces the two-sided
+      // lowering whenever a reliability clause is present.
       if (const auto* target = merged.find("target");
-          target != nullptr && target->args[0] != "TARGET_COMM_MPI_2SIDE") {
+          target != nullptr && target->args[0] != "TARGET_COMM_MPI_2SIDE" &&
+          target->args[0] != "TARGET_COMM_AUTO") {
         ctx_.report.add(
             "CID-S035", Severity::Error, node.line,
             detail::clause_column(node, *clause),

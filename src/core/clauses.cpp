@@ -7,6 +7,7 @@ std::string_view target_keyword(Target target) noexcept {
     case Target::Mpi2Side: return "TARGET_COMM_MPI_2SIDE";
     case Target::Mpi1Side: return "TARGET_COMM_MPI_1SIDE";
     case Target::Shmem: return "TARGET_COMM_SHMEM";
+    case Target::Auto: return "TARGET_COMM_AUTO";
   }
   return "TARGET_COMM_UNKNOWN";
 }
@@ -24,6 +25,7 @@ Result<Target> parse_target_keyword(std::string_view keyword) {
   if (keyword == "TARGET_COMM_MPI_2SIDE") return Target::Mpi2Side;
   if (keyword == "TARGET_COMM_MPI_1SIDE") return Target::Mpi1Side;
   if (keyword == "TARGET_COMM_SHMEM") return Target::Shmem;
+  if (keyword == "TARGET_COMM_AUTO") return Target::Auto;
   return Status(ErrorCode::InvalidClause,
                 "unknown target keyword '" + std::string(keyword) + "'");
 }

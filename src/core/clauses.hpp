@@ -18,6 +18,7 @@ enum class Target {
   Mpi2Side,  ///< TARGET_COMM_MPI_2SIDE: MPI_Isend / MPI_Irecv (the default)
   Mpi1Side,  ///< TARGET_COMM_MPI_1SIDE: MPI_Put
   Shmem,     ///< TARGET_COMM_SHMEM: typed shmem_put
+  Auto,      ///< TARGET_COMM_AUTO: cid::tune picks per site (docs/TUNING.md)
 };
 
 /// The place_sync clause keywords (comm_parameters only).

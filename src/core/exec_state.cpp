@@ -1,9 +1,11 @@
 #include "core/exec_state.hpp"
 
+#include <cstring>
 #include <iterator>
 
 #include "core/reliability.hpp"
 #include "core/trace.hpp"
+#include "rt/agg.hpp"
 #include "shmem/shmem.hpp"
 
 namespace cid::core::detail {
@@ -27,7 +29,82 @@ void PendingOps::merge_from(PendingOps&& other) {
                           other.windows_to_fence.begin(),
                           other.windows_to_fence.end());
   ranges.insert(ranges.end(), other.ranges.begin(), other.ranges.end());
+  for (auto& [dest, wire] : other.agg_buffers) {
+    rt::agg::merge(agg_buffers[dest], wire);
+  }
+  flat_scatters.insert(flat_scatters.end(),
+                       std::make_move_iterator(other.flat_scatters.begin()),
+                       std::make_move_iterator(other.flat_scatters.end()));
   other = PendingOps{};
+}
+
+namespace {
+
+/// One combined envelope for `dest`: injection is charged once for the whole
+/// batch (one send overhead, one per-message gap per sub-message, the wire
+/// bytes through the injection pipe) — the consolidation aggregation buys.
+void inject_one_aggregate(rt::RankCtx& ctx, int dest,
+                          std::vector<std::byte>&& wire) {
+  const auto& costs = ctx.model().mpi_two_sided;
+  const std::size_t bytes = wire.size();
+  const simnet::SimTime injection_start = ctx.clock().now();
+  ctx.charge_compute(
+      costs.send_overhead +
+      static_cast<simnet::SimTime>(rt::agg::count(wire)) *
+          costs.per_message_gap +
+      static_cast<simnet::SimTime>(bytes) / costs.injection_bytes_per_second);
+  rt::Envelope envelope;
+  envelope.src = ctx.rank();
+  envelope.tag = 0;
+  envelope.channel = rt::Channel::Internal;
+  envelope.context = rt::agg::kContext;
+  envelope.available_at =
+      std::max(costs.delivery_time(injection_start, bytes),
+               ctx.clock().now() + costs.latency);
+  envelope.payload = rt::Payload(std::move(wire));
+  ctx.world().deliver(dest, std::move(envelope));
+}
+
+}  // namespace
+
+void inject_aggregates(ExecState& state, PendingOps& ops) {
+  (void)state;
+  if (ops.agg_buffers.empty()) return;
+  auto& ctx = rt::current_ctx();
+  for (auto& [dest, wire] : ops.agg_buffers) {
+    inject_one_aggregate(ctx, dest, std::move(wire));
+  }
+  ops.agg_buffers.clear();
+}
+
+void inject_aggregate_for(ExecState& state, PendingOps& ops, int dest) {
+  (void)state;
+  auto it = ops.agg_buffers.find(dest);
+  if (it == ops.agg_buffers.end()) return;
+  inject_one_aggregate(rt::current_ctx(), dest, std::move(it->second));
+  ops.agg_buffers.erase(it);
+}
+
+void apply_flat_scatters(ExecState& state, PendingOps& ops) {
+  (void)state;
+  if (ops.flat_scatters.empty()) return;
+  auto& ctx = rt::current_ctx();
+  for (const FlatScatter& fs : ops.flat_scatters) {
+    const std::size_t extent = fs.dtype.extent();
+    const auto* src = fs.staging.data();
+    auto* dst = static_cast<std::byte*>(fs.rbuf);
+    for (std::size_t e = 0; e < fs.count; ++e) {
+      for (const mpi::PackRun& run : fs.dtype.pack_plan()) {
+        std::memcpy(dst + e * extent + run.offset,
+                    src + e * extent + run.offset, run.bytes);
+      }
+    }
+    // Same layout-walk charge the engine's scatter would have applied.
+    ctx.charge_compute(
+        static_cast<simnet::SimTime>(fs.dtype.payload_size() * fs.count) /
+        ctx.model().host.datatype_pack_bytes_per_second);
+  }
+  ops.flat_scatters.clear();
 }
 
 ExecState& ExecState::mine() {
@@ -72,6 +149,9 @@ void ExecState::flush(PendingOps& ops) {
   const bool trace = detail::trace_enabled() && !ops.empty();
   simnet::SimTime trace_begin = 0.0;
   if (trace) trace_begin = rt::current_ctx().clock().now();
+  // Batched sends go out before anything waits: the waitall below may block
+  // on receives whose messages ride in these aggregates.
+  inject_aggregates(*this, ops);
   if (!ops.reliable_sends.empty() || !ops.reliable_recvs.empty()) {
     run_reliable_epoch(*this, ops);
   }
@@ -86,6 +166,7 @@ void ExecState::flush(PendingOps& ops) {
       slots.recv_used = 0;
     }
   }
+  apply_flat_scatters(*this, ops);
   if (!ops.shmem_flag_updates.empty()) {
     // One fence orders every data put of the epoch before the flag
     // updates; one flag put per (site, destination) carries the cumulative

@@ -93,6 +93,16 @@ struct ReliableRecv {
   simnet::SimTime posted_at = 0.0;
 };
 
+/// A receiver-side flat-copy completion obligation (cid::tune): the wire
+/// carried the flat element images into `staging`; after the waitall the
+/// recorded pack plan scatters them into the composite receive buffer.
+struct FlatScatter {
+  std::vector<std::byte> staging;  ///< heap buffer, stable across moves
+  void* rbuf = nullptr;
+  mpi::Datatype dtype = mpi::Datatype::basic(mpi::BasicType::Byte);
+  std::size_t count = 0;
+};
+
 /// Everything that still needs synchronization.
 struct PendingOps {
   std::vector<mpi::Request> mpi_requests;
@@ -103,12 +113,18 @@ struct PendingOps {
   bool shmem_quiet_needed = false;
   std::vector<mpi::Win> windows_to_fence;
   std::vector<BufferRange> ranges;
+  /// Sub-threshold sends batched per destination (cid::tune aggregation);
+  /// wire format in rt/agg.hpp. Injected as one envelope per destination at
+  /// the next flush, before the waitall that completes their receives.
+  std::map<int, std::vector<std::byte>> agg_buffers;
+  std::vector<FlatScatter> flat_scatters;
 
   bool empty() const noexcept {
     return mpi_requests.empty() && reliable_sends.empty() &&
            reliable_recvs.empty() && shmem_expects.empty() &&
            shmem_flag_updates.empty() && !shmem_quiet_needed &&
-           windows_to_fence.empty();
+           windows_to_fence.empty() && agg_buffers.empty() &&
+           flat_scatters.empty();
   }
   void merge_from(PendingOps&& other);
 };
@@ -195,6 +211,9 @@ class ExecState {
   std::map<SiteKey, GroupCommEntry> group_comms;
   std::map<SiteKey, ShmemCollectiveSite> shmem_collectives;
   std::map<const TypeLayout*, mpi::Datatype> datatype_cache;
+  /// Sites whose pack-vs-flat throughput was already measured this run
+  /// (cid::tune record mode calibrates each site once).
+  std::map<SiteKey, bool> tune_calibrated;
 
   /// Region nesting stack (owned by the Region RAII objects).
   std::vector<class RegionImpl*> region_stack;
@@ -211,5 +230,20 @@ class ExecState {
   friend struct ExecStateResetCheck;
   const rt::World* world_ = nullptr;
 };
+
+/// cid::tune aggregation: inject each destination's batched wire buffer as
+/// one combined envelope (split back into per-message sub-envelopes by the
+/// destination mailbox, see rt/agg.hpp). Must run before the waitall that
+/// completes the matching receives.
+void inject_aggregates(ExecState& state, PendingOps& ops);
+
+/// Inject only the batch bound for `dest`: a direct (unbatched) send to a
+/// destination must not overtake its batched predecessors.
+void inject_aggregate_for(ExecState& state, PendingOps& ops, int dest);
+
+/// cid::tune flat-copy: scatter the staged flat element images into the
+/// composite receive buffers (pack-plan runs only — holes are untouched).
+/// Must run after the waitall that filled the staging buffers.
+void apply_flat_scatters(ExecState& state, PendingOps& ops);
 
 }  // namespace cid::core::detail

@@ -1,13 +1,17 @@
 #include "core/region.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include <cstring>
 
 #include "core/exec_state.hpp"
 #include "core/reliability.hpp"
 #include "core/trace.hpp"
+#include "obs/obs.hpp"
+#include "rt/agg.hpp"
 #include "shmem/shmem.hpp"
+#include "tune/tune.hpp"
 
 namespace cid::core {
 
@@ -83,6 +87,65 @@ mpi::Datatype datatype_for_buffer(ExecState& state, const BufferRef& buffer) {
   return mpi::Datatype::basic(buffer.basic);
 }
 
+Target to_core_target(tune::Lowering lowering) noexcept {
+  switch (lowering) {
+    case tune::Lowering::Mpi1Side: return Target::Mpi1Side;
+    case tune::Lowering::Shmem: return Target::Shmem;
+    case tune::Lowering::Mpi2Side: break;
+  }
+  return Target::Mpi2Side;
+}
+
+/// Record mode (CID_TUNE=record): wall-clock throughput of this site's
+/// pack-plan walk vs a flat extent copy — the two rates whose measured
+/// crossover drives the flat-copy lowering decision. Wall time only; the
+/// virtual clock is untouched.
+void calibrate_pack(const SiteKey& site, rt::RankCtx& ctx,
+                    const mpi::Datatype& dtype, const void* base,
+                    std::size_t count) {
+  const std::size_t payload = dtype.payload_size() * count;
+  const std::size_t extent = dtype.extent() * count;
+  if (payload == 0 || extent == 0) return;
+  std::vector<std::byte> scratch(std::max(payload, extent));
+  constexpr int kReps = 3;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < kReps; ++r) {
+    dtype.gather_into(MutableByteSpan(scratch.data(), payload), base, count);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  for (int r = 0; r < kReps; ++r) {
+    std::memcpy(scratch.data(), base, extent);
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  obs::observe("cid.tune.plan_ns_per_byte", site, ctx.rank(),
+               std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                   (kReps * static_cast<double>(payload)));
+  obs::observe("cid.tune.flat_ns_per_byte", site, ctx.rank(),
+               std::chrono::duration<double, std::nano>(t2 - t1).count() /
+                   (kReps * static_cast<double>(extent)));
+}
+
+/// Record mode: per-site size profile and symmetric-heap eligibility, the
+/// inputs of the target(auto) decision (docs/TUNING.md).
+void record_tune_observations(ExecState& state, rt::RankCtx& ctx,
+                              const SiteKey& site,
+                              const std::vector<BufferRef>& sbufs,
+                              const std::vector<BufferRef>& rbufs,
+                              std::size_t count) {
+  for (std::size_t i = 0; i < sbufs.size(); ++i) {
+    const mpi::Datatype dtype = datatype_for_buffer(state, sbufs[i]);
+    obs::observe("cid.tune.msg_bytes", site, ctx.rank(),
+                 static_cast<double>(count * dtype.payload_size()));
+    obs::count(shmem::is_symmetric(rbufs[i].data) ? "cid.tune.sym_ok"
+                                                  : "cid.tune.sym_fail",
+               site, ctx.rank());
+    if (!dtype.is_contiguous() && !state.tune_calibrated[site]) {
+      state.tune_calibrated[site] = true;
+      calibrate_pack(site, ctx, dtype, sbufs[i].data, count);
+    }
+  }
+}
+
 /// Fetch a persistent slot (growing the site's request table as the
 /// compiler's generated code would), rebinding and starting it.
 mpi::Request& acquire_send_slot(ExecState& state, const SiteKey& site,
@@ -154,8 +217,16 @@ void execute_reliable_mpi2(ExecState& state, rt::RankCtx& ctx,
   CID_REQUIRE(retries >= 0, ErrorCode::InvalidClause,
               "reliability max_retries must be non-negative, got " +
                   std::to_string(retries));
-  const simnet::SimTime timeout =
-      static_cast<simnet::SimTime>(timeout_us) * 1e-6;
+  simnet::SimTime timeout = static_cast<simnet::SimTime>(timeout_us) * 1e-6;
+  if (tune::active()) {
+    // Both sides derive the same tightened timeout from the same profile
+    // entry, so sender deadlines and receiver deadlines stay consistent.
+    timeout = tune::tuned_timeout(tune::Tuner::global().site(site), timeout);
+  }
+  if (tune::recording()) {
+    obs::observe("cid.reliability.timeout_seconds", site, ctx.rank(),
+                 timeout);
+  }
   const int max_retries = static_cast<int>(retries);
 
   const auto& sbufs = merged.sbuf_list();
@@ -264,6 +335,7 @@ void execute_reliable_mpi2(ExecState& state, rt::RankCtx& ctx,
 /// the adjacency analysis finds a buffer conflict. Window fences are
 /// collective and stay deferred to the region end, which every rank reaches.
 void flush_local(ExecState& state, PendingOps& ops) {
+  inject_aggregates(state, ops);
   if (!ops.reliable_sends.empty() || !ops.reliable_recvs.empty()) {
     run_reliable_epoch(state, ops);
   }
@@ -277,6 +349,7 @@ void flush_local(ExecState& state, PendingOps& ops) {
       slots.recv_used = 0;
     }
   }
+  apply_flat_scatters(state, ops);
   if (!ops.shmem_flag_updates.empty()) {
     shmem::fence();
     const int self = rt::current_ctx().rank();
@@ -339,7 +412,7 @@ void execute_p2p(const Clauses& site_clauses, const RegionImpl* region,
       eval_clause(merged.receivewhen_clause(), env, "receivewhen") != 0;
 
   const std::size_t count = resolve_count(merged, env);
-  const Target target = merged.target_clause().value_or(Target::Mpi2Side);
+  Target target = merged.target_clause().value_or(Target::Mpi2Side);
   const auto& sbufs = merged.sbuf_list();
   const auto& rbufs = merged.rbuf_list();
   const std::size_t pairs = sbufs.size();
@@ -391,13 +464,47 @@ void execute_p2p(const Clauses& site_clauses, const RegionImpl* region,
       in_region && merged.max_comm_iter_clause().present();
   const mpi::Comm world = mpi::Comm::world();
 
+  // --- cid::tune: measurement-driven lowering (docs/TUNING.md) ------------
+  // With CID_TUNE=off (the default) `tuning` is false, `target(auto)`
+  // resolves to the static default, and every path below is byte-identical
+  // to the untuned dispatch.
+  const bool tuning = tune::active();
+  const tune::SiteProfile* profile =
+      tuning ? tune::Tuner::global().site(site) : nullptr;
+  if (target == Target::Auto) {
+    tune::SiteFacts facts;
+    facts.reliability = merged.reliability_present();
+    facts.single_process = ctx.world().single_process();
+    target = to_core_target(tune::auto_target(profile, ctx.model(), facts)
+                                .lowering);
+  }
+  if (tune::recording() && send_active) {
+    record_tune_observations(state, ctx, site, sbufs, rbufs, count);
+  }
+
   if (merged.reliability_present()) {
     CID_REQUIRE(target == Target::Mpi2Side, ErrorCode::InvalidClause,
                 "reliability requires TARGET_COMM_MPI_2SIDE (got " +
                     std::string(target_keyword(target)) + ")");
   }
 
+  // Per-pair tuned refinements of the two-sided lowering. Both sides of a
+  // transfer evaluate the same predicates from the same profile entry and
+  // clause set (SPMD discipline), so they always agree on the wire format.
+  const bool may_tune =
+      tuning && !use_persistent && !merged.reliability_present();
+  const auto pair_aggregated = [&](const mpi::Datatype& dtype, int peer) {
+    return may_tune && in_region && peer != ctx.rank() &&
+           tune::should_aggregate(profile, count * dtype.payload_size(),
+                                  ctx.model());
+  };
+  const auto pair_flat = [&](const mpi::Datatype& dtype) {
+    return may_tune && !dtype.is_contiguous() &&
+           tune::use_flat_copy(profile, dtype.payload_size(), dtype.extent());
+  };
+
   switch (target) {
+    case Target::Auto:  // resolved above; defensive fallback to the default
     case Target::Mpi2Side: {
       if (merged.reliability_present()) {
         execute_reliable_mpi2(state, ctx, merged, env, site, count,
@@ -410,6 +517,20 @@ void execute_p2p(const Clauses& site_clauses, const RegionImpl* region,
       if (recv_active) {
         for (std::size_t i = 0; i < pairs; ++i) {
           const mpi::Datatype dtype = datatype_for_buffer(state, rbufs[i]);
+          if (!pair_aggregated(dtype, sender_rank) && pair_flat(dtype)) {
+            // Flat-copy receive: the wire carries whole element images into
+            // a staging buffer; the pack-plan scatter runs at the flush
+            // (apply_flat_scatters), touching payload runs only.
+            state.pending.flat_scatters.push_back(
+                FlatScatter{std::vector<std::byte>(count * dtype.extent()),
+                            rbufs[i].data, dtype, count});
+            auto& staging = state.pending.flat_scatters.back().staging;
+            state.pending.mpi_requests.push_back(mpi::irecv(
+                world, staging.data(), staging.size(),
+                mpi::Datatype::basic(mpi::BasicType::Byte), sender_rank,
+                kDirectiveTag));
+            continue;
+          }
           if (use_persistent) {
             // Slot identity includes the peer: a persistent request's
             // source/destination is fixed at init time, so each (site,
@@ -431,6 +552,32 @@ void execute_p2p(const Clauses& site_clauses, const RegionImpl* region,
           const mpi::Datatype dtype = datatype_for_buffer(state, sbufs[i]);
           ++state.stats.mpi2_messages;
           state.stats.mpi2_bytes += count * dtype.payload_size();
+          if (pair_aggregated(dtype, receiver_rank)) {
+            // Batch: gather the logical payload into the destination's wire
+            // buffer now; the combined envelope is injected at the next
+            // flush, before anything waits (see inject_aggregates).
+            if (!dtype.is_contiguous()) {
+              ctx.charge_compute(
+                  static_cast<simnet::SimTime>(dtype.payload_size() * count) /
+                  ctx.model().host.datatype_pack_bytes_per_second);
+            }
+            rt::agg::append(state.pending.agg_buffers[receiver_rank],
+                            kDirectiveTag, world.context(),
+                            dtype.gather(sbufs[i].data, count));
+            continue;
+          }
+          // A direct send must not overtake batched predecessors bound for
+          // the same destination.
+          inject_aggregate_for(state, state.pending, receiver_rank);
+          if (pair_flat(dtype)) {
+            // Flat-copy send: one straight memcpy of the whole extent onto
+            // the wire instead of the per-run pack-plan walk.
+            state.pending.mpi_requests.push_back(mpi::isend(
+                world, sbufs[i].data, count * dtype.extent(),
+                mpi::Datatype::basic(mpi::BasicType::Byte), receiver_rank,
+                kDirectiveTag));
+            continue;
+          }
           if (use_persistent) {
             const SiteKey slot_key = site + "#" + std::to_string(i) + "@" +
                                      std::to_string(receiver_rank);

@@ -13,8 +13,10 @@
 #include "core/trace.hpp"
 #include "net/backend.hpp"
 #include "net/transport.hpp"
+#include "obs/obs.hpp"
 #include "rt/envelope.hpp"
 #include "rt/mailbox.hpp"
+#include "tune/tune.hpp"
 
 namespace cid::core {
 
@@ -291,6 +293,16 @@ void run_reliable_epoch(ExecState& state, PendingOps& ops) {
           // Delivered. The sender's time was settled when the payload left
           // the NIC (local_complete_at / the last retransmission); the ack
           // only closes the protocol state.
+          if (tune::recording()) {
+            // Clean round trip: injection-complete to ack arrival. Feeds the
+            // rtt quantiles that tighten the retransmission timeout.
+            obs::observe("cid.reliability.rtt_seconds", sp.op->site, self,
+                         e.available_at - sp.attempt_sent_at);
+            if (real_loss) {
+              obs::observe("cid.reliability.wall_rtt_seconds", sp.op->site,
+                           self, net::wall_seconds() - sp.wall_sent_at);
+            }
+          }
           sp.done = true;
           emit(sp.op->dest, sp.op->transfer_id, kReliableFinCtx, {}, sp.t);
           continue;

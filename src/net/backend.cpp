@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/error.hpp"
+#include "tune/tune.hpp"
 
 namespace cid::net {
 
@@ -42,7 +43,16 @@ double wall_seconds() noexcept {
 
 double timeout_scale_from_env() {
   const char* value = std::getenv("CID_NET_TIMEOUT_SCALE");
-  if (value == nullptr || value[0] == '\0') return 1000.0;
+  if (value == nullptr || value[0] == '\0') {
+    // When tuning is active, an observed wall-rtt profile supplies a tighter
+    // derived default than the conservative 1000x (docs/TUNING.md).
+    if (tune::active()) {
+      if (const auto derived = tune::Tuner::global().derived_timeout_scale()) {
+        return *derived;
+      }
+    }
+    return 1000.0;
+  }
   char* end = nullptr;
   const double scale = std::strtod(value, &end);
   CID_REQUIRE(end != value && *end == '\0' && scale > 0.0,

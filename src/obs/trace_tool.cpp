@@ -126,7 +126,8 @@ void summarize_trace(const TraceFile& trace, std::ostream& out) {
   }
 }
 
-bool diff_traces(const TraceFile& a, const TraceFile& b, std::ostream& out) {
+bool diff_traces(const TraceFile& a, const TraceFile& b, std::ostream& out,
+                 bool semantic) {
   const BySite left = aggregate_by_site(a);
   const BySite right = aggregate_by_site(b);
 
@@ -138,8 +139,13 @@ bool diff_traces(const TraceFile& a, const TraceFile& b, std::ostream& out) {
   for (const auto& key : keys) {
     const auto l = left.find(key);
     const auto r = right.find(key);
-    const Aggregate la = l == left.end() ? Aggregate{} : l->second;
-    const Aggregate ra = r == right.end() ? Aggregate{} : r->second;
+    Aggregate la = l == left.end() ? Aggregate{} : l->second;
+    Aggregate ra = r == right.end() ? Aggregate{} : r->second;
+    if (semantic) {
+      // Timing is allowed to differ; only what moved where must agree.
+      la.time_us = 0.0;
+      ra.time_us = 0.0;
+    }
     if (la == ra) continue;
     if (identical) {
       out << "differing sites (A vs B):\n";
@@ -150,8 +156,8 @@ bool diff_traces(const TraceFile& a, const TraceFile& b, std::ostream& out) {
     print_row(out, "B " + key.first + " " + key.second, ra);
   }
   if (identical) {
-    out << "traces are equivalent: " << keys.size()
-        << " aggregated site(s) match\n";
+    out << "traces are " << (semantic ? "semantically " : "")
+        << "equivalent: " << keys.size() << " aggregated site(s) match\n";
   } else {
     out << "A: " << a.spans.size() << " spans, B: " << b.spans.size()
         << " spans\n";

@@ -16,8 +16,13 @@ namespace cid::obs {
 void summarize_trace(const TraceFile& trace, std::ostream& out);
 
 /// Compare two traces by per-(cat, name) aggregates; print the differing
-/// rows. Returns true when the aggregates are identical.
-bool diff_traces(const TraceFile& a, const TraceFile& b, std::ostream& out);
+/// rows. Returns true when the aggregates are identical. With `semantic`
+/// set, virtual time is excluded from the comparison: two runs that move the
+/// same bytes and messages through the same sites are equivalent even when a
+/// different lowering gave them different clocks (the `cidt trace diff
+/// --semantic` regression gate for tuned runs, docs/TUNING.md).
+bool diff_traces(const TraceFile& a, const TraceFile& b, std::ostream& out,
+                 bool semantic = false);
 
 /// CSV export: one row per span (rank,cat,name,ts_us,dur_us,bytes,messages).
 void export_csv(const TraceFile& trace, std::ostream& out);

@@ -1,0 +1,110 @@
+#include "rt/agg.hpp"
+
+#include <cstring>
+
+namespace cid::rt::agg {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes =
+    sizeof(std::int32_t) * 2 + sizeof(std::uint32_t);
+
+void write_u32(std::vector<std::byte>& wire, std::size_t at,
+               std::uint32_t value) {
+  std::memcpy(wire.data() + at, &value, sizeof(value));
+}
+
+}  // namespace
+
+std::uint32_t count(ByteSpan wire) noexcept {
+  if (wire.size() < sizeof(std::uint32_t)) return 0;
+  std::uint32_t n = 0;
+  std::memcpy(&n, wire.data(), sizeof(n));
+  return n;
+}
+
+void append(std::vector<std::byte>& wire, int tag, int context,
+            ByteSpan payload) {
+  if (wire.empty()) {
+    wire.resize(sizeof(std::uint32_t));
+    write_u32(wire, 0, 0);
+  }
+  const std::size_t at = wire.size();
+  wire.resize(at + kHeaderBytes + payload.size());
+  const auto tag32 = static_cast<std::int32_t>(tag);
+  const auto ctx32 = static_cast<std::int32_t>(context);
+  const auto bytes32 = static_cast<std::uint32_t>(payload.size());
+  std::memcpy(wire.data() + at, &tag32, sizeof(tag32));
+  std::memcpy(wire.data() + at + sizeof(tag32), &ctx32, sizeof(ctx32));
+  std::memcpy(wire.data() + at + sizeof(tag32) + sizeof(ctx32), &bytes32,
+              sizeof(bytes32));
+  if (!payload.empty()) {
+    std::memcpy(wire.data() + at + kHeaderBytes, payload.data(),
+                payload.size());
+  }
+  write_u32(wire, 0, count(wire) + 1);
+}
+
+void merge(std::vector<std::byte>& dst, ByteSpan src) {
+  const std::uint32_t extra = count(src);
+  if (extra == 0) return;
+  if (dst.empty()) {
+    dst.assign(src.begin(), src.end());
+    return;
+  }
+  dst.insert(dst.end(), src.begin() + sizeof(std::uint32_t), src.end());
+  write_u32(dst, 0, count(dst) + extra);
+}
+
+bool decode(ByteSpan wire, bool headers_only, std::vector<Sub>& out) {
+  out.clear();
+  const std::uint32_t n = count(wire);
+  std::size_t at = sizeof(std::uint32_t);
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (wire.size() < at + kHeaderBytes) return false;
+    Sub sub;
+    std::int32_t tag32 = 0;
+    std::int32_t ctx32 = 0;
+    std::uint32_t bytes32 = 0;
+    std::memcpy(&tag32, wire.data() + at, sizeof(tag32));
+    std::memcpy(&ctx32, wire.data() + at + sizeof(tag32), sizeof(ctx32));
+    std::memcpy(&bytes32, wire.data() + at + sizeof(tag32) + sizeof(ctx32),
+                sizeof(bytes32));
+    at += kHeaderBytes;
+    sub.tag = tag32;
+    sub.context = ctx32;
+    sub.bytes = bytes32;
+    if (!headers_only) {
+      if (wire.size() < at + bytes32) return false;
+      sub.offset = at;
+      at += bytes32;
+    }
+    out.push_back(sub);
+  }
+  return at == wire.size();
+}
+
+std::vector<std::byte> tombstone(ByteSpan wire) {
+  std::vector<Sub> subs;
+  std::vector<std::byte> out;
+  if (!decode(wire, /*headers_only=*/false, subs)) return out;
+  out.resize(sizeof(std::uint32_t));
+  write_u32(out, 0, 0);
+  for (const Sub& sub : subs) {
+    // Re-append with the logical byte count but no payload bytes: the
+    // header records what was lost, the body carries nothing.
+    const std::size_t at = out.size();
+    out.resize(at + kHeaderBytes);
+    const auto tag32 = static_cast<std::int32_t>(sub.tag);
+    const auto ctx32 = static_cast<std::int32_t>(sub.context);
+    std::memcpy(out.data() + at, &tag32, sizeof(tag32));
+    std::memcpy(out.data() + at + sizeof(tag32), &ctx32, sizeof(ctx32));
+    std::memcpy(out.data() + at + sizeof(tag32) + sizeof(ctx32), &sub.bytes,
+                sizeof(sub.bytes));
+    write_u32(out, 0, count(out) + 1);
+  }
+  return out;
+}
+
+}  // namespace cid::rt::agg

@@ -1,0 +1,60 @@
+// Small-message aggregation wire format (cid::tune).
+//
+// The tuned dispatch path batches sub-threshold point-to-point sends bound
+// for the same destination into ONE envelope per flush epoch, carried on
+// Channel::Internal with the reserved kContext id. Mailbox::push recognizes
+// the marker and splits the batch back into ordinary MpiPointToPoint
+// sub-envelopes under a single lock acquisition, so receivers match exactly
+// what the unaggregated path would have delivered — same src, tag, context
+// and payload bytes, in the same per-source order (seqs are assigned in
+// append order).
+//
+// Wire layout (host byte order; an aggregate is decoded by the destination
+// mailbox of the same binary):
+//
+//   [u32 n] then n of: [i32 tag][i32 context][u32 bytes][bytes payload]
+//
+// Fault tombstones: when the fault layer drops an aggregate in transit,
+// World::deliver strips the payload bytes but KEEPS the per-sub headers
+// (tombstone()), so the split still fans out one faulted, payload-less
+// tombstone per logical message — byte-for-byte the matching metadata a
+// per-message drop would have produced.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace cid::rt::agg {
+
+/// Context id marking an Internal-channel envelope as an aggregate. Distinct
+/// from the reliability contexts (core/reliability.hpp: 0x7D01..0x7D03).
+inline constexpr int kContext = 0x41'47'47;  // "AGG"
+
+/// Sub-message count of a wire buffer (0 for empty/malformed).
+std::uint32_t count(ByteSpan wire) noexcept;
+
+/// Append one sub-message (writes the count header on first use).
+void append(std::vector<std::byte>& wire, int tag, int context,
+            ByteSpan payload);
+
+/// Append every sub-message of `src` to `dst` (carryover merges).
+void merge(std::vector<std::byte>& dst, ByteSpan src);
+
+struct Sub {
+  int tag = 0;
+  int context = 0;
+  std::uint32_t bytes = 0;    ///< logical payload size (kept in tombstones)
+  std::size_t offset = 0;     ///< payload start within the wire (full form)
+};
+
+/// Decode a wire buffer. `headers_only` reads the tombstone form (no
+/// payload bytes follow the headers). Returns false on malformed input.
+bool decode(ByteSpan wire, bool headers_only, std::vector<Sub>& out);
+
+/// Headers-only copy of a full wire buffer: what a dropped aggregate's
+/// tombstone carries in place of its payload.
+std::vector<std::byte> tombstone(ByteSpan wire);
+
+}  // namespace cid::rt::agg

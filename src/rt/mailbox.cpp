@@ -4,10 +4,16 @@
 #include <chrono>
 
 #include "common/error.hpp"
+#include "rt/agg.hpp"
 
 namespace cid::rt {
 
 void Mailbox::push(Envelope envelope) {
+  if (envelope.channel == Channel::Internal &&
+      envelope.context == agg::kContext) {
+    push_aggregate(std::move(envelope));
+    return;
+  }
   bool wake = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -32,6 +38,54 @@ void Mailbox::push(Envelope envelope) {
     bucket.exact[exact_id(envelope.src, envelope.tag)].push_back(envelope.seq);
     bucket.by_seq.emplace(envelope.seq, std::move(envelope));
     ++size_;
+  }
+  if (wake) arrived_.notify_all();
+}
+
+void Mailbox::push_aggregate(Envelope envelope) {
+  // Decode outside the lock: only the count/header words are read here, the
+  // payload bytes are copied per-sub under the lock below.
+  std::vector<agg::Sub> subs;
+  const ByteSpan wire = envelope.payload.span();
+  CID_REQUIRE(agg::decode(wire, /*headers_only=*/envelope.faulted, subs),
+              ErrorCode::RuntimeFault, "malformed aggregate envelope");
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const agg::Sub& sub : subs) {
+      Envelope e;
+      e.src = envelope.src;
+      e.tag = sub.tag;
+      e.channel = Channel::MpiPointToPoint;
+      e.context = sub.context;
+      e.available_at = envelope.available_at;
+      e.faulted = envelope.faulted;
+      if (!envelope.faulted) {
+        e.payload = Payload::copy_of(wire.subspan(sub.offset, sub.bytes));
+      }
+      e.seq = next_seq_++;
+      if (!wake) {
+        for (const Waiter* waiter : waiters_) {
+          if (waiter->keys.empty()) {
+            wake = true;
+            break;
+          }
+          for (const MatchKey& key : waiter->keys) {
+            if (key.admits(e)) {
+              wake = true;
+              break;
+            }
+          }
+          if (wake) break;
+        }
+      }
+      Bucket& bucket =
+          buckets_.try_emplace(bucket_id(e.channel, e.context), &pool_)
+              .first->second;
+      bucket.exact[exact_id(e.src, e.tag)].push_back(e.seq);
+      bucket.by_seq.emplace(e.seq, std::move(e));
+      ++size_;
+    }
   }
   if (wake) arrived_.notify_all();
 }

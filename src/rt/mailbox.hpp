@@ -86,7 +86,10 @@ class Mailbox {
   /// of one call: a candidate it rejects is not re-examined within that call.
   using Residual = std::function<bool(const Envelope&)>;
 
-  /// Deliver an envelope (called from the sending rank's thread).
+  /// Deliver an envelope (called from the sending rank's thread). An
+  /// aggregate (Channel::Internal, agg::kContext — see rt/agg.hpp) is split
+  /// here into its per-message sub-envelopes under one lock acquisition, in
+  /// append order, so seq-based non-overtaking matches the unbatched path.
   void push(Envelope envelope);
 
   // ---- Structured (indexed) matching: the hot paths ----------------------
@@ -204,6 +207,11 @@ class Mailbox {
   /// Remove the found envelope from its bucket (and sub-index front) and
   /// return it.
   Envelope extract(Found found);
+
+  /// Split an aggregate envelope into per-message sub-envelopes (one lock
+  /// acquisition, one wakeup). Faulted aggregates fan out into faulted,
+  /// payload-less tombstones — one per logical message.
+  void push_aggregate(Envelope envelope);
 
   void throw_if_poisoned() const;
 

@@ -10,6 +10,7 @@
 #include "net/transport.hpp"
 #include "obs/autotrace.hpp"
 #include "obs/obs.hpp"
+#include "tune/tune.hpp"
 
 namespace cid::rt {
 
@@ -52,6 +53,9 @@ RunResult run(int nranks, const simnet::MachineModel& model, const RankFn& fn,
   // CID_TRACE_OUT: enable process-wide observability recording with zero
   // code changes in the SPMD program.
   obs::autotrace_poll();
+  // CID_TUNE: re-read the tuning mode and (re)load the site profile each
+  // run; record mode turns metrics collection on for the run's duration.
+  tune::Tuner::global().prepare();
 
   // Resolve the transport backend: explicit option first, CID_BACKEND
   // otherwise (sim when unset — the deterministic virtual-time default).
@@ -166,6 +170,9 @@ RunResult run(int nranks, const simnet::MachineModel& model, const RankFn& fn,
   // Flush the trace file at the end of every run, not only at process exit,
   // so a crash in a later run still leaves the completed runs on disk.
   if (obs::autotrace_active()) obs::autotrace_write();
+  // Record mode: harvest this run's metrics into the in-memory profile and
+  // persist it to CID_TUNE_PROFILE (if set).
+  tune::Tuner::global().finish();
   return result;
 }
 

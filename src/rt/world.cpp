@@ -4,6 +4,7 @@
 
 #include "net/transport.hpp"
 #include "obs/obs.hpp"
+#include "rt/agg.hpp"
 
 namespace cid::rt {
 
@@ -63,6 +64,10 @@ void World::require_single_process(const std::string& what) const {
   }
 }
 
+bool World::single_process() const noexcept {
+  return transport_ == nullptr || !transport_->cross_process();
+}
+
 bool World::rank_is_local(int rank) const noexcept {
   if (transport_ == nullptr || !transport_->cross_process()) return true;
   const int begin = transport_->local_rank_begin(nranks_);
@@ -112,7 +117,14 @@ void World::deliver(int dest, Envelope envelope) {
         }
         return;
       }
-      envelope.payload.clear();
+      if (envelope.channel == Channel::Internal &&
+          envelope.context == agg::kContext) {
+        // A lost aggregate keeps its per-sub headers so the mailbox split
+        // still fans out one tombstone per logical message (rt/agg.hpp).
+        envelope.payload = Payload(agg::tombstone(envelope.payload.span()));
+      } else {
+        envelope.payload.clear();
+      }
       envelope.faulted = true;
     }
   }

@@ -93,6 +93,10 @@ class World {
   /// ranks cannot reach this process's memory or condition variables.
   void require_single_process(const std::string& what) const;
 
+  /// Non-throwing form of the gate above: true when every rank runs in this
+  /// OS process (cid::tune only auto-picks shmem / one-sided when so).
+  bool single_process() const noexcept;
+
   /// True when `rank` runs in this OS process (always true without a
   /// cross-process transport).
   bool rank_is_local(int rank) const noexcept;

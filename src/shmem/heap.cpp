@@ -119,6 +119,49 @@ void SymmetricHeap::reset_incoming(int pe) {
   pes_.at(pe).incoming_max = 0.0;
 }
 
+void SymmetricHeap::raise_fence_floor(int pe) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& state = pes_.at(pe);
+  state.fence_floor = std::max(state.fence_floor, state.outgoing_max);
+}
+
+simnet::SimTime SymmetricHeap::fence_floor(int pe) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pes_.at(pe).fence_floor;
+}
+
+void SymmetricHeap::record_word_write(int target_pe, const void* word,
+                                      std::uint64_t value,
+                                      simnet::SimTime delivery) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& target = pes_.at(target_pe);
+  const auto* p = static_cast<const std::byte*>(word);
+  const auto offset = static_cast<std::size_t>(p - target.storage.get());
+  target.word_writes[offset].push_back({value, delivery});
+}
+
+std::optional<simnet::SimTime> SymmetricHeap::consume_word_write(
+    int pe, const void* word,
+    const std::function<bool(std::uint64_t)>& satisfied) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& state = pes_.at(pe);
+  const auto* p = static_cast<const std::byte*>(word);
+  const auto offset = static_cast<std::size_t>(p - state.storage.get());
+  auto it = state.word_writes.find(offset);
+  if (it == state.word_writes.end()) return std::nullopt;
+  auto& history = it->second;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    if (satisfied(history[i].value)) {
+      const simnet::SimTime delivery = history[i].delivery;
+      history.erase(history.begin(),
+                    history.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      if (history.empty()) state.word_writes.erase(it);
+      return delivery;
+    }
+  }
+  return std::nullopt;
+}
+
 simnet::SimTime SymmetricHeap::outgoing_max(int pe) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return pes_.at(pe).outgoing_max;

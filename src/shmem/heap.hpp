@@ -5,8 +5,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "rt/runtime.hpp"
@@ -51,6 +56,31 @@ class SymmetricHeap {
   /// Latest wire-completion time of puts injected by `pe` (for quiet()).
   simnet::SimTime outgoing_max(int pe) const;
 
+  /// Ordering floor for `pe`'s subsequent puts: fence() raises it to the
+  /// PE's outgoing max so a post-fence flag put is never delivered (in
+  /// virtual time) before the data puts it publishes.
+  void raise_fence_floor(int pe);
+  simnet::SimTime fence_floor(int pe) const;
+
+  // --- flag-word write history ------------------------------------------
+  // Every put_value64 appends (value, delivery) to the target word's
+  // history, in the writer's program order. wait_until() consumes the first
+  // entry that satisfies its comparison and advances the waiter's clock to
+  // THAT write's delivery time — not to a racy "latest delivery so far"
+  // mark, which would make virtual time depend on how far ahead the sender
+  // happens to be in host wall time. Deterministic as long as each flag
+  // word has a single writer (the directive runtime's per-source flag slots
+  // guarantee this).
+  /// Append a write of `value` to the word at `word` on `target_pe`.
+  void record_word_write(int target_pe, const void* word, std::uint64_t value,
+                         simnet::SimTime delivery);
+  /// Pop history up to and including the first write satisfying
+  /// `satisfied`, returning its delivery time; nullopt (and no change) when
+  /// no recorded write satisfies it — the wait was met by older local state.
+  std::optional<simnet::SimTime> consume_word_write(
+      int pe, const void* word,
+      const std::function<bool(std::uint64_t)>& satisfied);
+
   /// Default capacity per PE unless overridden before first use.
   static constexpr std::size_t kDefaultCapacity = 1u << 20;
 
@@ -63,11 +93,19 @@ class SymmetricHeap {
   static SymmetricHeap& of_world(rt::RankCtx& ctx);
 
  private:
+  struct WordWrite {
+    std::uint64_t value;
+    simnet::SimTime delivery;
+  };
+
   struct PeState {
     std::unique_ptr<std::byte[]> storage;
     std::size_t allocated = 0;
     simnet::SimTime incoming_max = 0.0;
     simnet::SimTime outgoing_max = 0.0;
+    simnet::SimTime fence_floor = 0.0;
+    /// Unconsumed remote writes per flag word (offset into this PE's block).
+    std::map<std::size_t, std::deque<WordWrite>> word_writes;
   };
 
   mutable std::mutex mutex_;

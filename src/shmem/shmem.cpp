@@ -31,8 +31,9 @@ void do_put(rt::RankCtx& ctx, void* dest, const void* source,
   const simnet::SimTime injection_start = ctx.clock().now();
   ctx.charge_compute(costs.injection_time(bytes));
   const simnet::SimTime delivery =
-      std::max(costs.delivery_time(injection_start, bytes),
-               ctx.clock().now() + costs.latency);
+      std::max({costs.delivery_time(injection_start, bytes),
+                ctx.clock().now() + costs.latency,
+                heap.fence_floor(ctx.rank())});
 
   std::memcpy(remote, source, bytes);
   std::atomic_thread_fence(std::memory_order_release);
@@ -105,9 +106,15 @@ void put_value64(std::uint64_t* dest, std::uint64_t value, int pe) {
 
   const auto& costs = path(ctx);
   ctx.charge_compute(costs.send_overhead + costs.per_message_gap);
+  // A flag put ordered behind a fence is delivered no earlier than the data
+  // puts it publishes (fence_floor); see fence().
   const simnet::SimTime delivery =
-      costs.delivery_time(ctx.clock().now(), sizeof(std::uint64_t));
+      std::max(costs.delivery_time(ctx.clock().now(), sizeof(std::uint64_t)),
+               heap.fence_floor(ctx.rank()));
 
+  // History before the store: once a waiter can observe the value, the
+  // write's delivery time must already be recorded for it to consume.
+  heap.record_word_write(pe, remote, value, delivery);
   std::atomic_ref<std::uint64_t>(*reinterpret_cast<std::uint64_t*>(remote))
       .store(value, std::memory_order_release);
   heap.record_put(ctx.rank(), pe, delivery);
@@ -131,9 +138,11 @@ void getmem(void* dest, const void* source, std::size_t bytes, int pe) {
 
 void fence() {
   // Transport delivers puts in order per destination, so fence only charges
-  // its (small) call cost.
+  // its (small) call cost — but it does establish ordering: every later put
+  // is delivered no earlier than the puts issued before the fence.
   auto& ctx = rt::current_ctx();
   ctx.charge_compute(path(ctx).wait_single);
+  SymmetricHeap::of_world(ctx).raise_fence_floor(ctx.rank());
 }
 
 void quiet() {
@@ -196,8 +205,15 @@ void wait_until(const std::uint64_t* ivar, Cmp cmp, std::uint64_t value) {
     return compare(flag.load(std::memory_order_acquire), cmp, value);
   });
   ctx.charge_compute(path(ctx).wait_single);
-  // The satisfying flag arrived no later than the newest put targeting us.
-  ctx.clock().advance_to(heap.incoming_max(ctx.rank()));
+  // Advance to the delivery time of the specific write that first satisfies
+  // the comparison — NOT to the latest delivery observed so far, which
+  // depends on how far ahead the writer has raced in host wall time and
+  // would make virtual time scheduler-dependent. No recorded write means
+  // the wait was satisfied by older (already-charged) state.
+  const auto delivery = heap.consume_word_write(
+      ctx.rank(), ivar,
+      [&](std::uint64_t v) { return compare(v, cmp, value); });
+  if (delivery.has_value()) ctx.clock().advance_to(*delivery);
 }
 
 bool wait_until_for(const std::uint64_t* ivar, Cmp cmp, std::uint64_t value,
@@ -220,7 +236,10 @@ bool wait_until_for(const std::uint64_t* ivar, Cmp cmp, std::uint64_t value,
   });
   ctx.charge_compute(path(ctx).wait_single);
   if (satisfied) {
-    ctx.clock().advance_to(heap.incoming_max(ctx.rank()));
+    const auto delivery = heap.consume_word_write(
+        ctx.rank(), ivar,
+        [&](std::uint64_t v) { return compare(v, cmp, value); });
+    if (delivery.has_value()) ctx.clock().advance_to(*delivery);
     return true;
   }
   ctx.clock().advance_to(deadline);

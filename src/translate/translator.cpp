@@ -237,7 +237,11 @@ class Translator {
     const RawClause* clause = directive.find("target");
     if (clause == nullptr) return options_.default_target;
     auto target = core::parse_target_keyword(clause->args[0]);
-    return target.is_ok() ? target.value() : options_.default_target;
+    if (!target.is_ok()) return options_.default_target;
+    // target(auto) adapts per site at runtime (cid::tune); the open-coded
+    // translation is static, so it lowers to the configured default.
+    if (target.value() == Target::Auto) return options_.default_target;
+    return target.value();
   }
 
   std::string annotate(const std::string& note) const {
@@ -269,11 +273,16 @@ class Translator {
       } else if (clause.name == "target") {
         auto target = core::parse_target_keyword(clause.args[0]);
         if (!target.is_ok()) return target.status();
-        if (target.value() != Target::Mpi2Side) {
+        if (target.value() == Target::Auto) {
+          // Resolved per site by the runtime; reliability forces the
+          // two-sided lowering there (tune::auto_target).
+          out += "\n    .target(::cid::core::Target::Auto)";
+        } else if (target.value() != Target::Mpi2Side) {
           return Status(ErrorCode::UnsupportedTarget,
                         "reliability requires TARGET_COMM_MPI_2SIDE");
+        } else {
+          out += "\n    .target(::cid::core::Target::Mpi2Side)";
         }
-        out += "\n    .target(::cid::core::Target::Mpi2Side)";
       } else if (clause.name == "place_sync") {
         auto placement = core::parse_sync_placement_keyword(clause.args[0]);
         if (!placement.is_ok()) return placement.status();
@@ -600,6 +609,7 @@ class Translator {
     std::string comm_var;
     const bool standalone = region == nullptr;
     switch (target) {
+      case Target::Auto:  // directive_target resolves Auto to the default
       case Target::Mpi2Side: {
         if (standalone) {
           reqs_var = "cid_reqs_" + std::to_string(id);
@@ -705,6 +715,7 @@ class Translator {
     }
     if (standalone) {
       switch (target) {
+        case Target::Auto:
         case Target::Mpi2Side:
           out += "::cid::mpi::waitall(" + reqs_var + ");\n";
           break;

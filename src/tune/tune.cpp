@@ -1,0 +1,198 @@
+#include "tune/tune.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/autotrace.hpp"
+#include "obs/obs.hpp"
+
+namespace cid::tune {
+
+namespace {
+
+/// Estimated virtual cost of moving one `bytes`-sized message end to end on
+/// each lowering, including the completion work its sync point pays per
+/// message. The sync-side terms are deliberately conservative (the
+/// consolidated fence / quiet is charged in full per message), so a
+/// lowering only wins when it wins even for a one-message epoch.
+double mpi2_cost(const simnet::PathCosts& p, double bytes) noexcept {
+  double cost = p.send_overhead + p.recv_overhead + p.per_message_gap +
+                bytes / p.injection_bytes_per_second + p.latency +
+                p.waitall_per_request;
+  if (bytes > static_cast<double>(p.eager_threshold_bytes)) {
+    cost += p.rendezvous_extra_latency;
+  }
+  return cost;
+}
+
+double mpi1_cost(const simnet::PathCosts& p, double bytes) noexcept {
+  return p.send_overhead + p.per_message_gap +
+         bytes / p.injection_bytes_per_second + p.latency +
+         p.waitall_per_request + p.waitall_base;
+}
+
+double shmem_cost(const simnet::PathCosts& p, double bytes) noexcept {
+  return p.send_overhead + p.per_message_gap +
+         bytes / p.injection_bytes_per_second + p.latency + p.wait_single +
+         p.waitall_base;
+}
+
+std::string us(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f us", seconds * 1e6);
+  return buffer;
+}
+
+}  // namespace
+
+std::string_view lowering_name(Lowering lowering) noexcept {
+  switch (lowering) {
+    case Lowering::Mpi2Side: return "TARGET_COMM_MPI_2SIDE";
+    case Lowering::Mpi1Side: return "TARGET_COMM_MPI_1SIDE";
+    case Lowering::Shmem: return "TARGET_COMM_SHMEM";
+  }
+  return "TARGET_COMM_UNKNOWN";
+}
+
+Choice auto_target(const SiteProfile* profile,
+                   const simnet::MachineModel& model,
+                   const SiteFacts& facts) {
+  if (facts.reliability) {
+    return {Lowering::Mpi2Side,
+            "reliability clause requires the MPI two-sided protocol"};
+  }
+  if (!facts.single_process) {
+    return {Lowering::Mpi2Side,
+            "ranks span processes: windows and the symmetric heap are "
+            "in-process facilities"};
+  }
+  if (profile == nullptr || profile->messages == 0) {
+    return {Lowering::Mpi2Side,
+            "no recorded size profile for this site; static default"};
+  }
+  const double bytes = profile->mean_bytes;
+  const double two_sided = mpi2_cost(model.mpi_two_sided, bytes);
+  const double one_sided = mpi1_cost(model.mpi_one_sided, bytes);
+  const double shm = shmem_cost(model.shmem, bytes);
+
+  if (profile->symmetric_ok && shm <= two_sided && shm <= one_sided) {
+    return {Lowering::Shmem,
+            "buffers are symmetric and a " +
+                std::to_string(static_cast<std::uint64_t>(bytes)) +
+                " B put costs " + us(shm) + " vs " + us(two_sided) +
+                " two-sided"};
+  }
+  if (one_sided < two_sided) {
+    return {Lowering::Mpi1Side,
+            "mean " + std::to_string(static_cast<std::uint64_t>(bytes)) +
+                " B beats the eager threshold: a one-sided put (" +
+                us(one_sided) + ") avoids the rendezvous round-trip (" +
+                us(two_sided) + ")"};
+  }
+  return {Lowering::Mpi2Side,
+          "two-sided eager is cheapest at mean " +
+              std::to_string(static_cast<std::uint64_t>(bytes)) + " B (" +
+              us(two_sided) + " vs " + us(one_sided) + " one-sided)"};
+}
+
+std::size_t aggregation_threshold(const simnet::MachineModel& model) noexcept {
+  const std::size_t eager = model.mpi_two_sided.eager_threshold_bytes;
+  return std::clamp<std::size_t>(eager / 4, 64, 4096);
+}
+
+bool should_aggregate(const SiteProfile* profile, std::size_t payload_bytes,
+                      const simnet::MachineModel& model) noexcept {
+  if (profile == nullptr || profile->messages == 0) return false;
+  const auto threshold = static_cast<double>(aggregation_threshold(model));
+  return profile->max_bytes <= threshold &&
+         static_cast<double>(payload_bytes) <= threshold;
+}
+
+bool use_flat_copy(const SiteProfile* profile, std::size_t payload_per_elem,
+                   std::size_t extent_per_elem) noexcept {
+  if (profile == nullptr || profile->plan_ns_per_byte <= 0.0 ||
+      profile->flat_ns_per_byte <= 0.0) {
+    return false;
+  }
+  if (payload_per_elem == 0 || extent_per_elem > 2 * payload_per_elem) {
+    return false;  // too sparse: the wire-byte inflation outweighs the copy
+  }
+  return profile->flat_ns_per_byte * static_cast<double>(extent_per_elem) <
+         profile->plan_ns_per_byte * static_cast<double>(payload_per_elem);
+}
+
+double tuned_timeout(const SiteProfile* profile,
+                     double clause_timeout) noexcept {
+  if (profile == nullptr || profile->rtt_p99 <= 0.0) return clause_timeout;
+  const double derived = 4.0 * profile->rtt_p99;
+  return derived < clause_timeout ? derived : clause_timeout;
+}
+
+Tuner& Tuner::global() {
+  // Leaked singleton, like the obs registries: probe sites may fire during
+  // static teardown of user code.
+  static Tuner* instance = new Tuner();
+  return *instance;
+}
+
+void Tuner::prepare() {
+  const char* env = std::getenv("CID_TUNE");
+  Mode mode = Mode::Off;
+  if (env != nullptr) {
+    const std::string_view value(env);
+    if (value == "record") mode = Mode::Record;
+    if (value == "on") mode = Mode::On;
+  }
+  mode_ = mode;
+
+  if (mode_ == Mode::On) {
+    const char* path = std::getenv("CID_TUNE_PROFILE");
+    if (path != nullptr && *path != '\0') {
+      std::ifstream in(path);
+      if (in) {
+        std::ostringstream text;
+        text << in.rdbuf();
+        auto parsed = Profile::parse(text.str());
+        // A malformed or missing file keeps whatever profile is already in
+        // memory (e.g. from a same-process record run).
+        if (parsed.is_ok()) profile_ = std::move(parsed).take();
+      }
+    }
+  }
+
+  if (mode_ == Mode::Record) {
+    // Record exactly this run: the harvest must not see metric rows from
+    // earlier runs in the process.
+    obs_was_enabled_ = obs::enabled();
+    obs::clear();
+    obs::set_enabled(true);
+  }
+}
+
+void Tuner::finish() {
+  if (mode_ != Mode::Record) return;
+  profile_.harvest(obs::MetricsRegistry::global());
+  const char* path = std::getenv("CID_TUNE_PROFILE");
+  if (path != nullptr && *path != '\0') {
+    std::ofstream out(path);
+    out << profile_.to_json();
+  }
+  if (!obs_was_enabled_ && !obs::autotrace_active()) {
+    obs::set_enabled(false);
+  }
+}
+
+std::optional<double> Tuner::derived_timeout_scale() const {
+  std::optional<double> scale;
+  for (const auto& [site, p] : profile_.sites) {
+    if (p.wall_rtt_p99 <= 0.0 || p.min_timeout <= 0.0) continue;
+    const double s = 4.0 * p.wall_rtt_p99 / p.min_timeout;
+    if (!scale.has_value() || s > *scale) scale = s;
+  }
+  return scale;
+}
+
+}  // namespace cid::tune

@@ -474,6 +474,22 @@ int main() {
   EXPECT_TRUE(has(report, "CID-S035")) << render(report);
 }
 
+TEST(Analyze, ReliabilityAcceptsAutoTarget) {
+  // target(TARGET_COMM_AUTO) is compatible with reliability: the runtime
+  // tuner resolves auto to the two-sided lowering whenever the clause is
+  // present (docs/TUNING.md).
+  const Report report = analyze(R"(
+int main() {
+#pragma comm_parameters sender(0) receiver(1) sendwhen(rank==0) receivewhen(rank==1) reliability(1000, 3) target(TARGET_COMM_AUTO)
+{
+#pragma comm_p2p sbuf(a) rbuf(b) count(1)
+{ }
+}
+}
+)");
+  EXPECT_FALSE(has(report, "CID-S035")) << render(report);
+}
+
 // --- reflection / type rules ------------------------------------------------
 
 TEST(Analyze, CompositeWithPointerMember) {

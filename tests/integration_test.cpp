@@ -58,6 +58,7 @@ int compile(const std::string& source_path, const std::string& binary_path,
                            // net <-> rt is a link cycle: repeat cid_rt after
                            // cid_net so the transports' rt symbols resolve.
                            CID_BINARY_DIR + "/src/rt/libcid_rt.a " +
+                           CID_BINARY_DIR + "/src/tune/libcid_tune.a " +
                            CID_BINARY_DIR + "/src/obs/libcid_obs.a " +
                            CID_BINARY_DIR + "/src/simnet/libcid_simnet.a " +
                            CID_BINARY_DIR + "/src/common/libcid_common.a";

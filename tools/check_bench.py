@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
-"""Gate a fresh BENCH_scale.json against the committed one.
+"""Gate a fresh BENCH_*.json capture against the committed one.
 
 Usage: check_bench.py COMMITTED.json FRESH.json [--tolerance 0.20]
 
-For every workload row present in BOTH files (matched on name + ranks),
-fails (exit 1) when the fresh envelopes_per_sec is more than `tolerance`
-below the committed value. Faster is never a failure; rows only one side
-has (e.g. the committed full 1k/4k/10k sweep vs a --quick CI run) are
-skipped. Wall-clock benches are noisy, so the default tolerance is a
-generous 20% — the gate exists to catch "the scheduler fell off a cliff",
-not single-digit jitter.
+Accepts the "scale" (bench_scale) and "tune" (bench_tune) captures; both
+files must carry the same bench tag. For every workload row present in
+BOTH files (matched on name + ranks), fails (exit 1) when the fresh
+envelopes_per_sec is more than `tolerance` below the committed value.
+Faster is never a failure; rows only one side has (e.g. the committed
+full 1k/4k/10k sweep vs a --quick CI run) are skipped. Wall-clock benches
+are noisy, so the default tolerance is a generous 20% — the gate exists
+to catch "the scheduler fell off a cliff", not single-digit jitter.
+(BENCH_tune.json rates are derived from deterministic virtual makespans,
+so those rows reproduce exactly; the tolerance only matters for scale.)
 """
 
 import argparse
@@ -17,12 +20,18 @@ import json
 import sys
 
 
+KNOWN_BENCHES = ("scale", "tune")
+
+
 def rows(path):
     with open(path) as f:
         data = json.load(f)
-    if data.get("bench") != "scale":
-        sys.exit(f"{path}: not a BENCH_scale.json (bench={data.get('bench')!r})")
-    return {(w["name"], w["ranks"]): w for w in data["workloads"]}
+    if data.get("bench") not in KNOWN_BENCHES:
+        sys.exit(f"{path}: not a recognised bench capture "
+                 f"(bench={data.get('bench')!r}, expected one of "
+                 f"{KNOWN_BENCHES})")
+    return data["bench"], {(w["name"], w["ranks"]): w
+                           for w in data["workloads"]}
 
 
 def main():
@@ -32,8 +41,11 @@ def main():
     parser.add_argument("--tolerance", type=float, default=0.20)
     args = parser.parse_args()
 
-    committed = rows(args.committed)
-    fresh = rows(args.fresh)
+    committed_bench, committed = rows(args.committed)
+    fresh_bench, fresh = rows(args.fresh)
+    if committed_bench != fresh_bench:
+        sys.exit(f"bench tag mismatch: {args.committed} is "
+                 f"{committed_bench!r}, {args.fresh} is {fresh_bench!r}")
     shared = sorted(set(committed) & set(fresh))
     if not shared:
         sys.exit("no (workload, ranks) rows in common; nothing to gate")

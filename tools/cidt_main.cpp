@@ -4,6 +4,7 @@
 //   cidt [options] input.cpp      source-to-source translation (the default)
 //   cidt check [options] files…   static directive verification (cidlint)
 //   cidt trace <verb> …           trace-file reports
+//   cidt tune <verb> …            inspect/explain CID_TUNE profiles
 //   cidt run [options] prog …     launch a program on a transport backend
 //   cidt net doctor               transport configuration preflight
 //
@@ -28,7 +29,10 @@
 #include "net/doctor.hpp"
 #include "obs/trace_read.hpp"
 #include "obs/trace_tool.hpp"
+#include "simnet/machine_model.hpp"
 #include "translate/translator.hpp"
+#include "tune/profile.hpp"
+#include "tune/tune.hpp"
 
 namespace {
 
@@ -44,8 +48,10 @@ int usage(const char* argv0) {
       "            [--comm <expr>] [--no-annotate] [--summary] input.cpp\n"
       "       %s check [--json] [--sweep MIN..MAX] file.cpp...\n"
       "       %s trace summarize <trace.json>\n"
-      "       %s trace diff <a.json> <b.json>\n"
+      "       %s trace diff [--semantic] <a.json> <b.json>\n"
       "       %s trace export <trace.json> [-o out.csv]\n"
+      "       %s tune show <profile.json>\n"
+      "       %s tune explain <profile.json> [site]\n"
       "       %s run [--backend sim|thread|tcp] [--procs N]\n"
       "            [--port-base P] <program> [args...]\n"
       "       %s net doctor\n"
@@ -57,14 +63,18 @@ int usage(const char* argv0) {
       "             (documented in docs/ANALYSIS.md); exits 1 when any\n"
       "             diagnostic is reported\n"
       "  trace      summarize, diff or export Chrome trace-event files\n"
-      "             written via CID_TRACE_OUT\n"
+      "             written via CID_TRACE_OUT; diff --semantic ignores\n"
+      "             virtual time (the tuned-vs-untuned regression gate)\n"
+      "  tune       inspect CID_TUNE_PROFILE files (docs/TUNING.md); show\n"
+      "             prints the recorded per-site observations, explain\n"
+      "             replays every tuning decision with its reason\n"
       "  run        exec <program> with CID_BACKEND set; --backend tcp\n"
       "             forks --procs processes on loopback ports and wires\n"
       "             CID_NET_PEERS/CID_NET_PROC for them\n"
       "  net        transport diagnostics (docs/TRANSPORTS.md); doctor\n"
       "             checks CID_BACKEND, the frame codec and the tcp peer\n"
       "             table, exits 1 when anything needs fixing\n",
-      argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return kExitUsage;
 }
 
@@ -167,12 +177,18 @@ int trace_main(int argc, char** argv) {
     return kExitClean;
   }
   if (verb == "diff") {
-    if (argc != 5) return usage(argv[0]);
-    auto lhs = load(argv[3]);
-    auto rhs = load(argv[4]);
+    bool semantic = false;
+    int first = 3;
+    if (argc > 3 && std::string(argv[3]) == "--semantic") {
+      semantic = true;
+      first = 4;
+    }
+    if (argc != first + 2) return usage(argv[0]);
+    auto lhs = load(argv[first]);
+    auto rhs = load(argv[first + 1]);
     if (!lhs.is_ok() || !rhs.is_ok()) return kExitIo;
     const bool identical =
-        cid::obs::diff_traces(lhs.value(), rhs.value(), std::cout);
+        cid::obs::diff_traces(lhs.value(), rhs.value(), std::cout, semantic);
     return identical ? kExitClean : kExitFindings;
   }
   if (verb == "export") {
@@ -194,6 +210,126 @@ int trace_main(int argc, char** argv) {
     return kExitClean;
   }
   std::fprintf(stderr, "cidt: unknown trace verb '%s'\n", verb.c_str());
+  return usage(argv[0]);
+}
+
+/// Load and parse a CID_TUNE profile file; on failure prints a diagnostic
+/// and returns an error result.
+cid::Result<cid::tune::Profile> load_profile(const char* path) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::fprintf(stderr, "cidt: cannot read '%s'\n", path);
+    return cid::Status(cid::ErrorCode::IoError, "unreadable profile");
+  }
+  auto profile = cid::tune::Profile::parse(text);
+  if (!profile.is_ok()) {
+    std::fprintf(stderr, "cidt: %s: %s\n", path,
+                 profile.status().to_string().c_str());
+  }
+  return profile;
+}
+
+/// `cidt tune`: inspect profiles written by CID_TUNE=record runs.
+///   show     the raw per-site observations, one block per site
+///   explain  replay every decision the tuner would make from this profile
+///            against the reference machine model, with reasons
+int tune_main(int argc, char** argv) {
+  if (argc < 4) return usage(argv[0]);
+  const std::string verb = argv[2];
+
+  if (verb == "show") {
+    if (argc != 4) return usage(argv[0]);
+    auto profile = load_profile(argv[3]);
+    if (!profile.is_ok()) return kExitIo;
+    std::printf("profile: %zu site(s)\n", profile.value().sites.size());
+    for (const auto& [site, p] : profile.value().sites) {
+      std::printf("\n%s\n", site.c_str());
+      std::printf("  messages      %llu (%llu bytes; min %.0f mean %.1f "
+                  "max %.0f)\n",
+                  static_cast<unsigned long long>(p.messages),
+                  static_cast<unsigned long long>(p.bytes), p.min_bytes,
+                  p.mean_bytes, p.max_bytes);
+      std::printf("  symmetric_ok  %s\n", p.symmetric_ok ? "yes" : "no");
+      if (p.plan_ns_per_byte > 0.0 || p.flat_ns_per_byte > 0.0) {
+        std::printf("  copy rates    plan %.3f ns/B, flat %.3f ns/B\n",
+                    p.plan_ns_per_byte, p.flat_ns_per_byte);
+      }
+      if (p.rtt_p99 > 0.0) {
+        std::printf("  ack rtt       p50 %.3g s, p99 %.3g s\n", p.rtt_p50,
+                    p.rtt_p99);
+      }
+      if (p.wall_rtt_p99 > 0.0) {
+        std::printf("  wall rtt p99  %.3g s\n", p.wall_rtt_p99);
+      }
+      if (p.min_timeout > 0.0) {
+        std::printf("  min timeout   %.3g s\n", p.min_timeout);
+      }
+    }
+    return kExitClean;
+  }
+
+  if (verb == "explain") {
+    if (argc != 4 && argc != 5) return usage(argv[0]);
+    auto profile = load_profile(argv[3]);
+    if (!profile.is_ok()) return kExitIo;
+    const auto model = cid::simnet::MachineModel::cray_xk7_gemini();
+    const std::size_t agg_threshold = cid::tune::aggregation_threshold(model);
+    const std::string only = argc == 5 ? cid::tune::normalize_site(argv[4])
+                                       : std::string();
+
+    std::size_t shown = 0;
+    for (const auto& [site, p] : profile.value().sites) {
+      if (!only.empty() && site != only) continue;
+      ++shown;
+      std::printf("%s\n", site.c_str());
+
+      // target(auto): the site had a reliability clause iff it recorded a
+      // timeout. Explain assumes a single-process run (the in-process sim
+      // reference); profiles cannot record the transport, and symmetric_ok
+      // already gates the shmem pick on its own.
+      cid::tune::SiteFacts facts;
+      facts.reliability = p.min_timeout > 0.0;
+      facts.single_process = true;
+      const auto choice = cid::tune::auto_target(&p, model, facts);
+      std::printf("  target(auto)  -> %s\n                   %s\n",
+                  std::string(cid::tune::lowering_name(choice.lowering))
+                      .c_str(),
+                  choice.reason.c_str());
+
+      const bool agg = cid::tune::should_aggregate(
+          &p, static_cast<std::size_t>(p.mean_bytes), model);
+      std::printf("  aggregation   -> %s (mean %.1f B vs threshold %zu B)\n",
+                  agg ? "batch per destination" : "send individually",
+                  p.mean_bytes, agg_threshold);
+
+      if (p.plan_ns_per_byte > 0.0 && p.flat_ns_per_byte > 0.0) {
+        // use_flat_copy() depends on the layout's payload/extent ratio;
+        // report the measured crossover density instead of one verdict.
+        std::printf("  pack copy     -> flat wins below density %.2fx "
+                    "(plan %.3f / flat %.3f ns/B), capped at 2x\n",
+                    p.plan_ns_per_byte / p.flat_ns_per_byte,
+                    p.plan_ns_per_byte, p.flat_ns_per_byte);
+      } else {
+        std::printf("  pack copy     -> compiled pack plan (no calibration "
+                    "recorded)\n");
+      }
+
+      if (p.min_timeout > 0.0) {
+        const double tuned =
+            cid::tune::tuned_timeout(&p, p.min_timeout);
+        std::printf("  reliability   -> timeout %.3g s (clause %.3g s, "
+                    "4 x rtt p99 = %.3g s)\n",
+                    tuned, p.min_timeout, 4.0 * p.rtt_p99);
+      }
+    }
+    if (!only.empty() && shown == 0) {
+      std::fprintf(stderr, "cidt: site '%s' not in profile\n", argv[4]);
+      return kExitFindings;
+    }
+    return kExitClean;
+  }
+
+  std::fprintf(stderr, "cidt: unknown tune verb '%s'\n", verb.c_str());
   return usage(argv[0]);
 }
 
@@ -417,6 +553,9 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::string(argv[1]) == "check") {
     return check_main(argc, argv);
+  }
+  if (argc >= 2 && std::string(argv[1]) == "tune") {
+    return tune_main(argc, argv);
   }
   if (argc >= 2 && std::string(argv[1]) == "net") {
     return net_main(argc, argv);

@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 
 #include "core/exec_state.hpp"
 #include "core/trace.hpp"
+#include "mpi/coll.hpp"
 #include "mpi/mpi.hpp"
+#include "obs/obs.hpp"
 #include "shmem/shmem.hpp"
+#include "tune/tune.hpp"
 
 namespace cid::core {
 
@@ -86,7 +90,8 @@ void require_capacity(const BufferRef& buffer, std::size_t needed,
 
 void lower_mpi(ExecState& state, const mpi::Comm& comm, Pattern pattern,
                int root, std::size_t count, const BufferRef& sbuf,
-               const BufferRef& rbuf) {
+               const BufferRef& rbuf,
+               std::optional<mpi::coll::CollAlgo> hint) {
   const mpi::Datatype dtype = datatype_for_buffer(state, sbuf);
   switch (pattern) {
     case Pattern::OneToMany:
@@ -94,7 +99,7 @@ void lower_mpi(ExecState& state, const mpi::Comm& comm, Pattern pattern,
       if (comm.rank() == root) {
         std::memcpy(rbuf.data, sbuf.data, count * dtype.extent());
       }
-      mpi::bcast(comm, rbuf.data, count, dtype, root);
+      mpi::coll::bcast(comm, rbuf.data, count, dtype, root, hint);
       return;
     case Pattern::ManyToOne:
       require_capacity(sbuf, count, "MANY_TO_ONE sbuf");
@@ -103,18 +108,29 @@ void lower_mpi(ExecState& state, const mpi::Comm& comm, Pattern pattern,
                          count * static_cast<std::size_t>(comm.size()),
                          "MANY_TO_ONE rbuf");
       }
-      mpi::gather(comm, sbuf.data, count, dtype,
-                  comm.rank() == root ? rbuf.data : nullptr, root);
+      mpi::coll::gather(comm, sbuf.data, count, dtype,
+                        comm.rank() == root ? rbuf.data : nullptr, root,
+                        hint);
       return;
     case Pattern::AllToAll: {
       const std::size_t total =
           count * static_cast<std::size_t>(comm.size());
       require_capacity(sbuf, total, "ALL_TO_ALL sbuf");
       require_capacity(rbuf, total, "ALL_TO_ALL rbuf");
-      mpi::alltoall(comm, sbuf.data, count, dtype, rbuf.data);
+      mpi::coll::alltoall(comm, sbuf.data, count, dtype, rbuf.data, hint);
       return;
     }
   }
+}
+
+/// The CollOp the MPI lowering of `pattern` dispatches through.
+tune::CollOp coll_op_for(Pattern pattern) {
+  switch (pattern) {
+    case Pattern::OneToMany: return tune::CollOp::Bcast;
+    case Pattern::ManyToOne: return tune::CollOp::Gather;
+    case Pattern::AllToAll: return tune::CollOp::Alltoall;
+  }
+  return tune::CollOp::Bcast;
 }
 
 void lower_shmem(ExecState& state, const SiteKey& site, const mpi::Comm& comm,
@@ -315,8 +331,40 @@ void comm_collective(const Clauses& clauses, std::source_location site_loc) {
   const BufferRef& sbuf = clauses.sbuf_list().front();
   const BufferRef& rbuf = clauses.rbuf_list().front();
 
+  // cid::tune integration. Record mode harvests the site's collective shape
+  // (per-block bytes, group size, pattern mix) into the profile; under
+  // CID_TUNE=on a recorded profile re-evaluates the algorithm chooser with
+  // the OBSERVED size distribution, and the resulting hint steers the
+  // engine (still below any CID_COLL operator override).
+  const std::size_t block_bytes = count * sbuf.element_size;
+  std::optional<mpi::coll::CollAlgo> hint;
+  if (tune::recording()) {
+    obs::observe("cid.tune.coll_block_bytes", site, ctx.rank(),
+                 static_cast<double>(block_bytes));
+    obs::observe("cid.tune.coll_group", site, ctx.rank(),
+                 static_cast<double>(comm.size()));
+    const char* pattern_metric = pattern == Pattern::OneToMany
+                                     ? "cid.tune.coll_o2m"
+                                     : pattern == Pattern::ManyToOne
+                                           ? "cid.tune.coll_m2o"
+                                           : "cid.tune.coll_a2a";
+    obs::count(pattern_metric, site, ctx.rank());
+  } else if (tune::active()) {
+    const tune::SiteProfile* profile = tune::Tuner::global().site(site);
+    if (profile != nullptr && profile->coll_calls > 0) {
+      const tune::CollOp op = coll_op_for(pattern);
+      const tune::CollShape shape{
+          block_bytes,
+          op == tune::CollOp::Bcast
+              ? block_bytes
+              : block_bytes * static_cast<std::size_t>(comm.size()),
+          comm.size()};
+      hint = tune::choose_collective(op, shape, ctx.model(), profile).algo;
+    }
+  }
+
   if (target == Target::Mpi2Side) {
-    lower_mpi(state, comm, pattern, root, count, sbuf, rbuf);
+    lower_mpi(state, comm, pattern, root, count, sbuf, rbuf, hint);
   } else {
     lower_shmem(state, site, comm, pattern, root, count, sbuf, rbuf);
   }

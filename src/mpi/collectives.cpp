@@ -1,249 +1,55 @@
+// The public collective entry points forward to the cid::mpi::coll engine
+// (mpi/coll.hpp), which validates arguments, early-outs trivial shapes, and
+// picks an algorithm per call (CID_COLL override > caller hint > cost
+// model). Directive lowerings that carry a tune-steered hint call the
+// coll:: entries directly; these wrappers pass no hint.
 #include "mpi/collectives.hpp"
 
-#include <cstring>
-#include <vector>
-
-#include "common/error.hpp"
-#include "mpi/p2p.hpp"
+#include "mpi/coll.hpp"
 
 namespace cid::mpi {
 
-namespace {
-
-constexpr int kCollectiveTag = 3000;
-
-/// Rank relative to the root (so trees can always be rooted at 0).
-int relative(int rank, int root, int size) {
-  return (rank - root + size) % size;
-}
-int absolute(int rel, int root, int size) { return (rel + root) % size; }
-
-template <typename T>
-void apply_op(ReduceOp op, const T* in, T* inout, std::size_t count) {
-  switch (op) {
-    case ReduceOp::Sum:
-      for (std::size_t i = 0; i < count; ++i) inout[i] += in[i];
-      return;
-    case ReduceOp::Min:
-      for (std::size_t i = 0; i < count; ++i) {
-        if (in[i] < inout[i]) inout[i] = in[i];
-      }
-      return;
-    case ReduceOp::Max:
-      for (std::size_t i = 0; i < count; ++i) {
-        if (in[i] > inout[i]) inout[i] = in[i];
-      }
-      return;
-    case ReduceOp::Prod:
-      for (std::size_t i = 0; i < count; ++i) inout[i] *= in[i];
-      return;
-  }
-}
-
-/// Binomial-tree reduce implementation shared by the typed overloads.
-template <typename T>
-void reduce_impl(const Comm& comm, const T* send, T* recv, std::size_t count,
-                 ReduceOp op, int root) {
-  CID_REQUIRE(comm.valid(), ErrorCode::InvalidArgument,
-              "reduce on invalid communicator");
-  const int size = comm.size();
-  const int me = comm.rank();
-  const int rel = relative(me, root, size);
-
-  std::vector<T> accumulator(send, send + count);
-  std::vector<T> incoming(count);
-
-  // Binomial tree: in round k, relative ranks with bit k set send their
-  // partial result to (rel - 2^k) and leave.
-  for (int mask = 1; mask < size; mask <<= 1) {
-    if ((rel & mask) != 0) {
-      const int dest = absolute(rel - mask, root, size);
-      mpi::send(comm, accumulator.data(), count, datatype_of<T>(), dest,
-                kCollectiveTag);
-      return;  // non-root recv buffers are left untouched
-    }
-    if (rel + mask < size) {
-      const int source = absolute(rel + mask, root, size);
-      mpi::recv(comm, incoming.data(), count, datatype_of<T>(), source,
-                kCollectiveTag);
-      apply_op(op, incoming.data(), accumulator.data(), count);
-    }
-  }
-  CID_REQUIRE(me == root, ErrorCode::RuntimeFault,
-              "reduce tree terminated on a non-root rank");
-  CID_REQUIRE(recv != nullptr, ErrorCode::InvalidArgument,
-              "reduce root requires a receive buffer");
-  std::memcpy(recv, accumulator.data(), count * sizeof(T));
-}
-
-}  // namespace
-
 void bcast(const Comm& comm, void* buffer, std::size_t count,
            const Datatype& dtype, int root) {
-  CID_REQUIRE(comm.valid(), ErrorCode::InvalidArgument,
-              "bcast on invalid communicator");
-  CID_REQUIRE(root >= 0 && root < comm.size(), ErrorCode::InvalidArgument,
-              "bcast root out of range");
-  const int size = comm.size();
-  if (size == 1) return;
-  const int me = comm.rank();
-  const int rel = relative(me, root, size);
-
-  // Classic binomial tree: climb masks until my receive bit, take the
-  // payload from my parent, then forward to children at all lower masks.
-  int mask = 1;
-  while (mask < size) {
-    if ((rel & mask) != 0) {
-      const int source = absolute(rel - mask, root, size);
-      mpi::recv(comm, buffer, count, dtype, source, kCollectiveTag);
-      break;
-    }
-    mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask > 0) {
-    if (rel + mask < size) {
-      const int dest = absolute(rel + mask, root, size);
-      mpi::send(comm, buffer, count, dtype, dest, kCollectiveTag);
-    }
-    mask >>= 1;
-  }
+  coll::bcast(comm, buffer, count, dtype, root);
 }
 
 void gather(const Comm& comm, const void* send, std::size_t count,
             const Datatype& dtype, void* recv, int root) {
-  CID_REQUIRE(comm.valid(), ErrorCode::InvalidArgument,
-              "gather on invalid communicator");
-  const int size = comm.size();
-  const int me = comm.rank();
-  const std::size_t block = count * dtype.extent();
-  if (me == root) {
-    CID_REQUIRE(recv != nullptr, ErrorCode::InvalidArgument,
-                "gather root requires a receive buffer");
-    auto* out = static_cast<std::byte*>(recv);
-    // Root's own block.
-    std::memcpy(out + static_cast<std::size_t>(me) * block, send, block);
-    // Flat gather with nonblocking receives + one Waitall.
-    std::vector<Request> requests;
-    requests.reserve(static_cast<std::size_t>(size - 1));
-    for (int r = 0; r < size; ++r) {
-      if (r == me) continue;
-      requests.push_back(irecv(comm,
-                               out + static_cast<std::size_t>(r) * block,
-                               count, dtype, r, kCollectiveTag));
-    }
-    waitall(requests);
-  } else {
-    mpi::send(comm, send, count, dtype, root, kCollectiveTag);
-  }
+  coll::gather(comm, send, count, dtype, recv, root);
 }
 
 void scatter(const Comm& comm, const void* send, std::size_t count,
              const Datatype& dtype, void* recv, int root) {
-  CID_REQUIRE(comm.valid(), ErrorCode::InvalidArgument,
-              "scatter on invalid communicator");
-  const int size = comm.size();
-  const int me = comm.rank();
-  const std::size_t block = count * dtype.extent();
-  if (me == root) {
-    CID_REQUIRE(send != nullptr, ErrorCode::InvalidArgument,
-                "scatter root requires a send buffer");
-    const auto* in = static_cast<const std::byte*>(send);
-    std::vector<Request> requests;
-    for (int r = 0; r < size; ++r) {
-      if (r == me) {
-        std::memcpy(recv, in + static_cast<std::size_t>(r) * block, block);
-        continue;
-      }
-      requests.push_back(isend(comm,
-                               in + static_cast<std::size_t>(r) * block,
-                               count, dtype, r, kCollectiveTag));
-    }
-    waitall(requests);
-  } else {
-    mpi::recv(comm, recv, count, dtype, root, kCollectiveTag);
-  }
+  coll::scatter(comm, send, count, dtype, recv, root);
 }
 
 void allgather(const Comm& comm, const void* send, std::size_t count,
                const Datatype& dtype, void* recv) {
-  CID_REQUIRE(comm.valid(), ErrorCode::InvalidArgument,
-              "allgather on invalid communicator");
-  const int size = comm.size();
-  const int me = comm.rank();
-  const std::size_t block = count * dtype.extent();
-  auto* out = static_cast<std::byte*>(recv);
-  std::memcpy(out + static_cast<std::size_t>(me) * block, send, block);
-  if (size == 1) return;
-
-  // Ring: in step s, send the block received in step s-1 to the right
-  // neighbour and receive a new block from the left neighbour.
-  const int right = (me + 1) % size;
-  const int left = (me - 1 + size) % size;
-  int have = me;  // block index most recently available
-  for (int step = 0; step < size - 1; ++step) {
-    const int incoming_index = (have - 1 + size) % size;
-    auto recv_req =
-        irecv(comm, out + static_cast<std::size_t>(incoming_index) * block,
-              count, dtype, left, kCollectiveTag);
-    auto send_req =
-        isend(comm, out + static_cast<std::size_t>(have) * block, count,
-              dtype, right, kCollectiveTag);
-    wait(recv_req);
-    wait(send_req);
-    have = incoming_index;
-  }
+  coll::allgather(comm, send, count, dtype, recv);
 }
 
 void alltoall(const Comm& comm, const void* send, std::size_t count,
               const Datatype& dtype, void* recv) {
-  CID_REQUIRE(comm.valid(), ErrorCode::InvalidArgument,
-              "alltoall on invalid communicator");
-  const int size = comm.size();
-  const int me = comm.rank();
-  const std::size_t block = count * dtype.extent();
-  const auto* in = static_cast<const std::byte*>(send);
-  auto* out = static_cast<std::byte*>(recv);
-
-  // Self block.
-  std::memcpy(out + static_cast<std::size_t>(me) * block,
-              in + static_cast<std::size_t>(me) * block, block);
-  // Post everything nonblocking, one Waitall (flat pairwise exchange).
-  std::vector<Request> requests;
-  requests.reserve(2 * static_cast<std::size_t>(size - 1));
-  for (int offset = 1; offset < size; ++offset) {
-    const int peer = (me + offset) % size;
-    requests.push_back(irecv(comm,
-                             out + static_cast<std::size_t>(peer) * block,
-                             count, dtype, peer, kCollectiveTag));
-  }
-  for (int offset = 1; offset < size; ++offset) {
-    const int peer = (me + offset) % size;
-    requests.push_back(isend(comm,
-                             in + static_cast<std::size_t>(peer) * block,
-                             count, dtype, peer, kCollectiveTag));
-  }
-  waitall(requests);
+  coll::alltoall(comm, send, count, dtype, recv);
 }
 
 void reduce(const Comm& comm, const double* send, double* recv,
             std::size_t count, ReduceOp op, int root) {
-  reduce_impl(comm, send, recv, count, op, root);
+  coll::reduce(comm, send, recv, count, op, root);
 }
 void reduce(const Comm& comm, const int* send, int* recv, std::size_t count,
             ReduceOp op, int root) {
-  reduce_impl(comm, send, recv, count, op, root);
+  coll::reduce(comm, send, recv, count, op, root);
 }
 
 void allreduce(const Comm& comm, const double* send, double* recv,
                std::size_t count, ReduceOp op) {
-  reduce(comm, send, recv, count, op, 0);
-  bcast(comm, recv, count, datatype_of<double>(), 0);
+  coll::allreduce(comm, send, recv, count, op);
 }
 void allreduce(const Comm& comm, const int* send, int* recv,
                std::size_t count, ReduceOp op) {
-  reduce(comm, send, recv, count, op, 0);
-  bcast(comm, recv, count, datatype_of<int>(), 0);
+  coll::allreduce(comm, send, recv, count, op);
 }
 
 }  // namespace cid::mpi

@@ -68,6 +68,21 @@ std::vector<rt::MatchKey> posted_keys(
   return keys;
 }
 
+/// When every key pins (src, tag), the residual re-scan of the posted list
+/// is redundant: an envelope admitted by an exact key already field-matches
+/// the (incomplete) receive that produced the key — same channel, context,
+/// source and tag, and membership holds because the key's src came through
+/// the receive's own communicator. Skipping it turns the flat fan-in
+/// pattern (a root waiting on P-1 exact receives) from O(P^3) envelope
+/// matching into O(P^2). Wildcard receives keep the residual: kMatchAny
+/// admits envelopes from ranks outside the receive's communicator.
+bool all_exact(const std::vector<rt::MatchKey>& keys) noexcept {
+  for (const auto& key : keys) {
+    if (!key.exact()) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 Engine& Engine::mine() {
@@ -136,7 +151,8 @@ void Engine::progress(rt::RankCtx& ctx) {
   for (;;) {
     const std::vector<rt::MatchKey> keys = posted_keys(posted_);
     if (keys.empty()) break;
-    auto envelope = ctx.mailbox().try_extract(keys, &residual);
+    auto envelope = ctx.mailbox().try_extract(
+        keys, all_exact(keys) ? nullptr : &residual);
     if (!envelope) break;
     for (auto& posted : posted_) {
       if (!posted->complete && envelope_matches(*envelope, *posted)) {
@@ -158,7 +174,7 @@ void Engine::wait_any_progress(rt::RankCtx& ctx) {
     }
     return false;
   };
-  ctx.mailbox().wait_present(keys, &residual);
+  ctx.mailbox().wait_present(keys, all_exact(keys) ? nullptr : &residual);
   progress(ctx);
 }
 
@@ -176,7 +192,8 @@ bool Engine::wait_complete_for(
       return envelope_fields_match(e, *request);
     };
     auto tombstone = ctx.mailbox().try_extract(
-        std::span<const rt::MatchKey>(&tombstone_key, 1), &fields_residual);
+        std::span<const rt::MatchKey>(&tombstone_key, 1),
+        tombstone_key.exact() ? nullptr : &fields_residual);
     if (tombstone) {
       posted_.erase(std::remove(posted_.begin(), posted_.end(), request),
                     posted_.end());
@@ -193,7 +210,7 @@ bool Engine::wait_complete_for(
       }
       return false;
     };
-    ctx.mailbox().wait_present(keys, &residual);
+    ctx.mailbox().wait_present(keys, all_exact(keys) ? nullptr : &residual);
   }
   if (request->complete_at <= deadline) return true;
   // The payload landed, but only after the deadline: the timer fired first.
@@ -221,7 +238,7 @@ void Engine::wait_complete(
       }
       return false;
     };
-    ctx.mailbox().wait_present(keys, &residual);
+    ctx.mailbox().wait_present(keys, all_exact(keys) ? nullptr : &residual);
   }
 }
 

@@ -1,0 +1,299 @@
+#include "tune/coll.hpp"
+
+#include <bit>
+#include <string>
+
+namespace cid::tune {
+
+namespace {
+
+/// ceil(log2(nprocs)): tree depth / number of doubling steps.
+int log2_ceil(int nprocs) noexcept {
+  if (nprocs <= 1) return 0;
+  return std::bit_width(static_cast<unsigned>(nprocs - 1));
+}
+
+bool is_pow2(int nprocs) noexcept {
+  return nprocs > 0 && (nprocs & (nprocs - 1)) == 0;
+}
+
+/// Per-message fixed cost on the two-sided path: both overheads, the
+/// injection gap and the wire latency.
+double fixed_cost(const simnet::PathCosts& p) noexcept {
+  return p.send_overhead + p.recv_overhead + p.per_message_gap + p.latency;
+}
+
+/// End-to-end cost of one `bytes`-sized message.
+double msg_cost(const simnet::PathCosts& p, double bytes) noexcept {
+  double cost = fixed_cost(p) + bytes / p.bytes_per_second;
+  if (bytes > static_cast<double>(p.eager_threshold_bytes)) {
+    cost += p.rendezvous_extra_latency;
+  }
+  return cost;
+}
+
+/// Groups this small keep the flat reference paths: tree/ring setup cannot
+/// amortize over two or three peers.
+constexpr int kTinyGroup = 4;
+
+struct Candidate {
+  CollAlgo algo;
+  double cost;
+  const char* reason;
+};
+
+/// Pick the cheapest of `candidates` (already filtered for applicability).
+CollChoice cheapest(const Candidate* candidates, int n) noexcept {
+  int best = 0;
+  for (int i = 1; i < n; ++i) {
+    if (candidates[i].cost < candidates[best].cost) best = i;
+  }
+  return {candidates[best].algo, candidates[best].reason};
+}
+
+}  // namespace
+
+std::string_view coll_op_name(CollOp op) noexcept {
+  switch (op) {
+    case CollOp::Bcast: return "bcast";
+    case CollOp::Gather: return "gather";
+    case CollOp::Scatter: return "scatter";
+    case CollOp::Allgather: return "allgather";
+    case CollOp::Alltoall: return "alltoall";
+    case CollOp::Reduce: return "reduce";
+    case CollOp::Allreduce: return "allreduce";
+  }
+  return "unknown";
+}
+
+std::string_view coll_algo_name(CollAlgo algo) noexcept {
+  switch (algo) {
+    case CollAlgo::Binomial: return "binomial";
+    case CollAlgo::VanDeGeijn: return "vandegeijn";
+    case CollAlgo::Flat: return "flat";
+    case CollAlgo::Ring: return "ring";
+    case CollAlgo::RecursiveDoubling: return "rd";
+    case CollAlgo::Rabenseifner: return "rabenseifner";
+    case CollAlgo::ReduceBcast: return "reduce_bcast";
+    case CollAlgo::Bruck: return "bruck";
+    case CollAlgo::PairwiseWindow: return "pairwise";
+  }
+  return "unknown";
+}
+
+std::optional<CollOp> parse_coll_op(std::string_view name) noexcept {
+  for (int i = 0; i < kCollOpCount; ++i) {
+    const auto op = static_cast<CollOp>(i);
+    if (name == coll_op_name(op)) return op;
+  }
+  return std::nullopt;
+}
+
+std::optional<CollAlgo> parse_coll_algo(std::string_view name) noexcept {
+  static constexpr CollAlgo kAll[] = {
+      CollAlgo::Binomial,     CollAlgo::VanDeGeijn,
+      CollAlgo::Flat,         CollAlgo::Ring,
+      CollAlgo::RecursiveDoubling, CollAlgo::Rabenseifner,
+      CollAlgo::ReduceBcast,  CollAlgo::Bruck,
+      CollAlgo::PairwiseWindow,
+  };
+  for (CollAlgo algo : kAll) {
+    if (name == coll_algo_name(algo)) return algo;
+  }
+  // Long-form alias kept for discoverability in docs and error messages.
+  if (name == "recursive_doubling") return CollAlgo::RecursiveDoubling;
+  return std::nullopt;
+}
+
+bool coll_algo_valid(CollOp op, CollAlgo algo, int nprocs) noexcept {
+  switch (op) {
+    case CollOp::Bcast:
+      return algo == CollAlgo::Binomial || algo == CollAlgo::VanDeGeijn;
+    case CollOp::Gather:
+    case CollOp::Scatter:
+      return algo == CollAlgo::Flat || algo == CollAlgo::Binomial;
+    case CollOp::Allgather:
+      return algo == CollAlgo::Ring ||
+             (algo == CollAlgo::RecursiveDoubling && is_pow2(nprocs));
+    case CollOp::Alltoall:
+      return algo == CollAlgo::Flat || algo == CollAlgo::Bruck ||
+             algo == CollAlgo::PairwiseWindow;
+    case CollOp::Reduce:
+      return algo == CollAlgo::Binomial || algo == CollAlgo::Rabenseifner;
+    case CollOp::Allreduce:
+      return algo == CollAlgo::ReduceBcast ||
+             algo == CollAlgo::RecursiveDoubling || algo == CollAlgo::Ring;
+  }
+  return false;
+}
+
+CollChoice choose_collective(CollOp op, const CollShape& shape,
+                             const simnet::MachineModel& model,
+                             const SiteProfile* profile) {
+  const simnet::PathCosts& p = model.mpi_two_sided;
+  const int P = shape.nprocs;
+  const int L = log2_ceil(P);
+  const double f = fixed_cost(p);
+  const double B = p.bytes_per_second;
+
+  // Profile steering: a recorded site decides by its observed mean block so
+  // one call site keeps one algorithm across a varied size distribution.
+  double b = static_cast<double>(shape.block_bytes);
+  if (profile != nullptr && profile->coll_calls > 0 &&
+      profile->coll_mean_bytes > 0.0) {
+    b = profile->coll_mean_bytes;
+  }
+  const bool vector_op = op == CollOp::Bcast || op == CollOp::Reduce ||
+                         op == CollOp::Allreduce;
+  // For the vector ops the "block" is the whole vector; for the blocky ops
+  // the total payload is one block per member.
+  const double n = vector_op ? b : b * P;
+
+  if (P <= 1) return {CollAlgo::Flat, "single-member group: local copy"};
+
+  switch (op) {
+    case CollOp::Bcast: {
+      if (P <= kTinyGroup) {
+        return {CollAlgo::Binomial, "tiny group: tree == flat"};
+      }
+      const Candidate candidates[] = {
+          {CollAlgo::Binomial, L * msg_cost(p, n),
+           "latency-bound: log2(P) tree hops beat the scatter+ring "
+           "pipeline"},
+          {CollAlgo::VanDeGeijn, L * f + n / B + (P - 1) * msg_cost(p, n / P),
+           "bandwidth-bound: binomial scatter + ring allgather ships the "
+           "vector once instead of log2(P) times"},
+      };
+      return cheapest(candidates, 2);
+    }
+    case CollOp::Gather:
+    case CollOp::Scatter: {
+      if (P <= kTinyGroup) {
+        return {CollAlgo::Flat, "tiny group: flat fan avoids relay copies"};
+      }
+      const char* tree_reason =
+          op == CollOp::Gather
+              ? "log2(P) messages at the root beat the flat O(P) fan-in"
+              : "log2(P) messages at the root beat the flat O(P) fan-out";
+      const Candidate candidates[] = {
+          {CollAlgo::Flat,
+           p.latency + (P - 1) * (p.recv_overhead + p.send_overhead +
+                                  p.per_message_gap + b / B) +
+               p.waitall_base + (P - 1) * p.waitall_per_request,
+           "flat fan keeps every block on a single hop"},
+          {CollAlgo::Binomial, L * f + (P - 1) * b / B, tree_reason},
+      };
+      return cheapest(candidates, 2);
+    }
+    case CollOp::Allgather: {
+      // The simnet model carries no congestion term, so recursive doubling
+      // (non-neighbour partners) is reserved for latency-bound sizes where
+      // its log2(P) steps are the whole story; bandwidth-bound allgathers
+      // stay on the nearest-neighbour ring.
+      if (is_pow2(P) && P > kTinyGroup &&
+          n <= static_cast<double>(p.eager_threshold_bytes)) {
+        const double ring = (P - 1) * msg_cost(p, b);
+        const double rd = L * f + (P - 1) * b / B;
+        if (rd < ring) {
+          return {CollAlgo::RecursiveDoubling,
+                  "small vector on a power-of-two group: log2(P) doubling "
+                  "steps beat P-1 ring steps"};
+        }
+      }
+      return {CollAlgo::Ring,
+              "ring: P-1 nearest-neighbour steps, bandwidth-optimal"};
+    }
+    case CollOp::Alltoall: {
+      if (P <= kTinyGroup) {
+        return {CollAlgo::Flat, "tiny group: flat pairwise exchange"};
+      }
+      const Candidate candidates[] = {
+          {CollAlgo::Bruck,
+           L * (f + (P / 2.0) * b / B),
+           "small blocks: ceil(log2(P)) combined messages beat the O(P) "
+           "per-peer request storm"},
+          {CollAlgo::PairwiseWindow,
+           p.latency + (P - 1) * (f + b / B) +
+               2 * (P - 1) * p.waitall_per_request,
+           "large blocks: pairwise exchange under a bounded request window "
+           "moves each block once"},
+      };
+      return cheapest(candidates, 2);
+    }
+    case CollOp::Reduce: {
+      if (P <= kTinyGroup) {
+        return {CollAlgo::Binomial, "tiny group: tree == flat"};
+      }
+      const Candidate candidates[] = {
+          {CollAlgo::Binomial, L * msg_cost(p, n),
+           "latency-bound: log2(P) tree hops, each carrying the full "
+           "vector"},
+          {CollAlgo::Rabenseifner,
+           (P - 1) * msg_cost(p, n / P) + L * f + n / B,
+           "bandwidth-bound: ring reduce-scatter + binomial gather ships "
+           "2x the vector instead of log2(P)x"},
+      };
+      return cheapest(candidates, 2);
+    }
+    case CollOp::Allreduce: {
+      const double rd_extra = is_pow2(P) ? 0.0 : 2.0 * msg_cost(p, n);
+      const Candidate candidates[] = {
+          {CollAlgo::RecursiveDoubling, L * msg_cost(p, n) + rd_extra,
+           "latency-bound: log2(P) exchange steps halve the reduce+bcast "
+           "tree count"},
+          {CollAlgo::Ring, 2.0 * (P - 1) * msg_cost(p, n / P),
+           "bandwidth-bound: ring reduce-scatter + allgather moves 2x the "
+           "vector total"},
+      };
+      return cheapest(candidates, 2);
+    }
+  }
+  return {CollAlgo::Flat, "unknown collective"};
+}
+
+Result<CollOverrides> parse_coll_overrides(std::string_view text) {
+  CollOverrides overrides;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = text.find(',', pos);
+    const std::string_view entry =
+        text.substr(pos, comma == std::string_view::npos ? std::string_view::npos
+                                                         : comma - pos);
+    pos = comma == std::string_view::npos ? text.size() + 1 : comma + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string_view::npos) {
+      return Status(ErrorCode::InvalidArgument,
+                    "CID_COLL entry '" + std::string(entry) +
+                        "' is not <collective>:<algo>");
+    }
+    const auto op = parse_coll_op(entry.substr(0, colon));
+    if (!op.has_value()) {
+      return Status(ErrorCode::InvalidArgument,
+                    "CID_COLL names unknown collective '" +
+                        std::string(entry.substr(0, colon)) + "'");
+    }
+    const auto algo = parse_coll_algo(entry.substr(colon + 1));
+    if (!algo.has_value()) {
+      return Status(ErrorCode::InvalidArgument,
+                    "CID_COLL names unknown algorithm '" +
+                        std::string(entry.substr(colon + 1)) + "'");
+    }
+    // Reject algorithms that never implement the collective; the
+    // shape-dependent cases (rd allgather on non-power-of-two groups) are
+    // checked per call and fall back to the cost model.
+    if (!coll_algo_valid(*op, *algo, /*nprocs=*/2) &&
+        !coll_algo_valid(*op, *algo, /*nprocs=*/4)) {
+      return Status(ErrorCode::InvalidArgument,
+                    "CID_COLL: algorithm '" +
+                        std::string(coll_algo_name(*algo)) +
+                        "' does not implement collective '" +
+                        std::string(coll_op_name(*op)) + "'");
+    }
+    overrides[static_cast<std::size_t>(*op)] = *algo;
+  }
+  return overrides;
+}
+
+}  // namespace cid::tune

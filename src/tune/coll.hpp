@@ -1,0 +1,114 @@
+// Collective algorithm selection — the decision half of the cid::mpi::coll
+// engine (the algorithms themselves live in src/mpi/coll.*; tune stays below
+// mpi in the layer DAG, so mpi links this, never the reverse).
+//
+// Every collective entry point asks choose_collective() which algorithm to
+// run. The choice is a PURE function of
+//
+//   (per-block payload bytes, total payload bytes, nprocs, machine model,
+//    optional recorded site profile)
+//
+// so it is deterministic and SPMD-consistent: every rank of a group computes
+// the same inputs, hence the same algorithm. Three layers of precedence,
+// resolved by the engine (mpi/coll.cpp):
+//
+//   1. CID_COLL=<collective>:<algo>[,...] env overrides, parsed once per
+//      rt::run by Tuner::prepare() (tune.hpp) — the operator's big hammer;
+//   2. a tune hint: under CID_TUNE=on the directive lowering
+//      (core/collective.cpp) re-evaluates choose_collective() with the
+//      site's recorded profile, steering borderline sites by their observed
+//      size distribution instead of the instantaneous call;
+//   3. the static cost model below, fed by the current call's exact shape.
+//
+// An override or hint that is inapplicable (e.g. recursive-doubling
+// allgather on a non-power-of-two group) falls back to the cost model
+// rather than erroring, so CID_COLL=allgather:rd is safe to export
+// globally. docs/PERF.md tabulates the algorithms and the thresholds this
+// cost model produces on the reference machine.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "simnet/machine_model.hpp"
+#include "tune/profile.hpp"
+
+namespace cid::tune {
+
+/// The seven collective operations the engine dispatches.
+enum class CollOp {
+  Bcast,
+  Gather,
+  Scatter,
+  Allgather,
+  Alltoall,
+  Reduce,
+  Allreduce,
+};
+inline constexpr int kCollOpCount = 7;
+
+/// Algorithm identifiers. Each CollOp accepts a subset (coll_algo_valid):
+///   bcast      binomial | vandegeijn
+///   gather     flat | binomial
+///   scatter    flat | binomial
+///   allgather  ring | rd               (rd: power-of-two groups only)
+///   alltoall   flat | bruck | pairwise
+///   reduce     binomial | rabenseifner
+///   allreduce  reduce_bcast | rd | ring
+enum class CollAlgo {
+  Binomial,           ///< classic binomial tree (bcast/gather/scatter/reduce)
+  VanDeGeijn,         ///< bcast: binomial scatter + ring allgather
+  Flat,               ///< the pre-engine fan-in/out (reference path)
+  Ring,               ///< allgather ring; allreduce ring RS+AG
+  RecursiveDoubling,  ///< "rd": log2 P full-exchange steps
+  Rabenseifner,       ///< reduce: ring reduce-scatter + binomial gather
+  ReduceBcast,        ///< allreduce reference: reduce then bcast
+  Bruck,              ///< alltoall in ceil(log2 P) steps
+  PairwiseWindow,     ///< alltoall pairwise with a bounded request window
+};
+
+std::string_view coll_op_name(CollOp op) noexcept;
+std::string_view coll_algo_name(CollAlgo algo) noexcept;
+std::optional<CollOp> parse_coll_op(std::string_view name) noexcept;
+std::optional<CollAlgo> parse_coll_algo(std::string_view name) noexcept;
+
+/// True when `algo` implements `op` and applies to a group of `nprocs`
+/// ranks. (`rd` allgather needs a power of two; everything else is shape-
+/// independent — non-power-of-two reduce/allreduce fold internally.)
+bool coll_algo_valid(CollOp op, CollAlgo algo, int nprocs) noexcept;
+
+/// The shape of one collective invocation, as the cost model sees it.
+struct CollShape {
+  std::size_t block_bytes = 0;  ///< payload bytes of one per-rank block
+  std::size_t total_bytes = 0;  ///< payload bytes of the whole vector
+  int nprocs = 1;               ///< group size
+};
+
+/// One selection with its explanation (a static string: the chooser runs on
+/// every collective call of every rank, so it must not allocate).
+struct CollChoice {
+  CollAlgo algo = CollAlgo::Binomial;
+  const char* reason = "";
+};
+
+/// Pick the cheapest applicable algorithm for `op` under the machine model.
+/// With a profile (CID_TUNE=on steering), the observed mean block size
+/// replaces the instantaneous one so a site with varied sizes keeps one
+/// stable algorithm; without, the call's exact shape decides.
+CollChoice choose_collective(CollOp op, const CollShape& shape,
+                             const simnet::MachineModel& model,
+                             const SiteProfile* profile = nullptr);
+
+/// Per-op algorithm overrides, indexed by static_cast<int>(CollOp).
+using CollOverrides = std::array<std::optional<CollAlgo>, kCollOpCount>;
+
+/// Parse a CID_COLL value: comma-separated `<collective>:<algo>` pairs,
+/// e.g. "allreduce:ring,alltoall:bruck". Unknown collectives or algorithms
+/// (or an algorithm that never implements that collective) are errors;
+/// shape-dependent applicability is checked per call instead.
+Result<CollOverrides> parse_coll_overrides(std::string_view text);
+
+}  // namespace cid::tune

@@ -20,6 +20,11 @@ constexpr std::string_view kSymOk = "cid.tune.sym_ok";
 constexpr std::string_view kSymFail = "cid.tune.sym_fail";
 constexpr std::string_view kPlanRate = "cid.tune.plan_ns_per_byte";
 constexpr std::string_view kFlatRate = "cid.tune.flat_ns_per_byte";
+constexpr std::string_view kCollBlock = "cid.tune.coll_block_bytes";
+constexpr std::string_view kCollGroup = "cid.tune.coll_group";
+constexpr std::string_view kCollO2M = "cid.tune.coll_o2m";
+constexpr std::string_view kCollM2O = "cid.tune.coll_m2o";
+constexpr std::string_view kCollA2A = "cid.tune.coll_a2a";
 constexpr std::string_view kRtt = "cid.reliability.rtt_seconds";
 constexpr std::string_view kWallRtt = "cid.reliability.wall_rtt_seconds";
 constexpr std::string_view kTimeout = "cid.reliability.timeout_seconds";
@@ -130,6 +135,16 @@ std::string Profile::to_json() const {
     write_number(out, p.wall_rtt_p99);
     out += ", \"min_timeout\": ";
     write_number(out, p.min_timeout);
+    out += ", \"coll_calls\": " + std::to_string(p.coll_calls);
+    out += ", \"coll_mean_bytes\": ";
+    write_number(out, p.coll_mean_bytes);
+    out += ", \"coll_max_bytes\": ";
+    write_number(out, p.coll_max_bytes);
+    out += ", \"coll_group\": ";
+    write_number(out, p.coll_group);
+    out += ", \"coll_o2m\": " + std::to_string(p.coll_o2m);
+    out += ", \"coll_m2o\": " + std::to_string(p.coll_m2o);
+    out += ", \"coll_a2a\": " + std::to_string(p.coll_a2a);
     out += "}";
   }
   out += first ? "}\n}\n" : "\n  }\n}\n";
@@ -172,6 +187,14 @@ Result<Profile> Profile::parse(std::string_view json_text) {
     p.rtt_p99 = number_or(value, "rtt_p99", 0);
     p.wall_rtt_p99 = number_or(value, "wall_rtt_p99", 0);
     p.min_timeout = number_or(value, "min_timeout", 0);
+    p.coll_calls =
+        static_cast<std::uint64_t>(number_or(value, "coll_calls", 0));
+    p.coll_mean_bytes = number_or(value, "coll_mean_bytes", 0);
+    p.coll_max_bytes = number_or(value, "coll_max_bytes", 0);
+    p.coll_group = number_or(value, "coll_group", 0);
+    p.coll_o2m = static_cast<std::uint64_t>(number_or(value, "coll_o2m", 0));
+    p.coll_m2o = static_cast<std::uint64_t>(number_or(value, "coll_m2o", 0));
+    p.coll_a2a = static_cast<std::uint64_t>(number_or(value, "coll_a2a", 0));
     profile.sites[normalize_site(site)] = p;
   }
   return profile;
@@ -183,6 +206,11 @@ void Profile::harvest(const obs::MetricsRegistry& registry) {
     std::uint64_t bytes = 0;
     std::uint64_t sym_ok = 0;
     std::uint64_t sym_fail = 0;
+    std::uint64_t coll_o2m = 0;
+    std::uint64_t coll_m2o = 0;
+    std::uint64_t coll_a2a = 0;
+    HistAccum coll_block;
+    HistAccum coll_group;
     HistAccum msg_bytes;
     HistAccum plan_rate;
     HistAccum flat_rate;
@@ -202,12 +230,22 @@ void Profile::harvest(const obs::MetricsRegistry& registry) {
       accums[site].sym_ok += row.value;
     } else if (row.key.metric == kSymFail) {
       accums[site].sym_fail += row.value;
+    } else if (row.key.metric == kCollO2M) {
+      accums[site].coll_o2m += row.value;
+    } else if (row.key.metric == kCollM2O) {
+      accums[site].coll_m2o += row.value;
+    } else if (row.key.metric == kCollA2A) {
+      accums[site].coll_a2a += row.value;
     }
   }
   for (const auto& row : registry.histograms()) {
     const std::string site = normalize_site(row.key.site);
     if (row.key.metric == kMsgBytes) {
       accums[site].msg_bytes.merge(row.histogram);
+    } else if (row.key.metric == kCollBlock) {
+      accums[site].coll_block.merge(row.histogram);
+    } else if (row.key.metric == kCollGroup) {
+      accums[site].coll_group.merge(row.histogram);
     } else if (row.key.metric == kPlanRate) {
       accums[site].plan_rate.merge(row.histogram);
     } else if (row.key.metric == kFlatRate) {
@@ -224,7 +262,8 @@ void Profile::harvest(const obs::MetricsRegistry& registry) {
   for (const auto& [site, a] : accums) {
     // Only directive sites with observed traffic get profile rows; registry
     // rows from subsystem labels ("world", "rt") carry no site to tune.
-    if (a.messages == 0 && a.msg_bytes.count == 0 && a.rtt.count == 0) {
+    if (a.messages == 0 && a.msg_bytes.count == 0 && a.rtt.count == 0 &&
+        a.coll_block.count == 0) {
       continue;
     }
     SiteProfile p;
@@ -244,6 +283,13 @@ void Profile::harvest(const obs::MetricsRegistry& registry) {
     p.rtt_p99 = a.rtt.quantile(0.99);
     p.wall_rtt_p99 = a.wall_rtt.quantile(0.99);
     p.min_timeout = a.timeout.count == 0 ? 0.0 : a.timeout.min;
+    p.coll_calls = a.coll_block.count;
+    p.coll_mean_bytes = a.coll_block.mean();
+    p.coll_max_bytes = a.coll_block.max;
+    p.coll_group = a.coll_group.mean();
+    p.coll_o2m = a.coll_o2m;
+    p.coll_m2o = a.coll_m2o;
+    p.coll_a2a = a.coll_a2a;
     sites[site] = p;
   }
 }

@@ -50,6 +50,17 @@ struct SiteProfile {
   /// Smallest configured reliability timeout seen at this site (virtual
   /// seconds), the denominator for the derived CID_NET_TIMEOUT_SCALE.
   double min_timeout = 0.0;
+  /// Collective directive observations (CID_TUNE=record probes in
+  /// core/collective.cpp). `coll_*_bytes` are PER-BLOCK payload bytes — the
+  /// unit the algorithm selector (tune/coll.hpp) decides on. Pattern counts
+  /// record how often each directive pattern executed at this site.
+  std::uint64_t coll_calls = 0;    ///< collective invocations observed
+  double coll_mean_bytes = 0.0;    ///< mean per-block payload bytes
+  double coll_max_bytes = 0.0;     ///< largest per-block payload bytes
+  double coll_group = 0.0;         ///< mean executing-group size (ranks)
+  std::uint64_t coll_o2m = 0;      ///< OneToMany (bcast-shaped) calls
+  std::uint64_t coll_m2o = 0;      ///< ManyToOne (gather-shaped) calls
+  std::uint64_t coll_a2a = 0;      ///< AllToAll calls
 
   bool operator==(const SiteProfile&) const = default;
 };

@@ -148,6 +148,16 @@ void Tuner::prepare() {
   }
   mode_ = mode;
 
+  coll_overrides_ = CollOverrides{};
+  if (const char* coll = std::getenv("CID_COLL");
+      coll != nullptr && *coll != '\0') {
+    auto parsed = parse_coll_overrides(coll);
+    if (!parsed.is_ok()) {
+      throw CidError(ErrorCode::InvalidArgument, parsed.status().message());
+    }
+    coll_overrides_ = parsed.value();
+  }
+
   if (mode_ == Mode::On) {
     const char* path = std::getenv("CID_TUNE_PROFILE");
     if (path != nullptr && *path != '\0') {

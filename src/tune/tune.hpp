@@ -32,6 +32,7 @@
 #include <string_view>
 
 #include "simnet/machine_model.hpp"
+#include "tune/coll.hpp"
 #include "tune/profile.hpp"
 
 namespace cid::tune {
@@ -124,9 +125,18 @@ class Tuner {
   /// observed wall RTT. Empty when no site recorded wall RTTs.
   std::optional<double> derived_timeout_scale() const;
 
+  /// CID_COLL operator override for one collective, parsed once per rt::run
+  /// by prepare() (the engine hot path reads this without env access or
+  /// locking). Empty when the collective has no override. Works in every
+  /// CID_TUNE mode — it is an operator knob, not a profile decision.
+  std::optional<CollAlgo> coll_override(CollOp op) const noexcept {
+    return coll_overrides_[static_cast<std::size_t>(op)];
+  }
+
  private:
   Mode mode_ = Mode::Off;
   Profile profile_;
+  CollOverrides coll_overrides_{};
   bool obs_was_enabled_ = false;  ///< restore after a record run
 };
 

@@ -83,6 +83,13 @@ tune::SiteProfile sample_site() {
   p.rtt_p99 = 4e-5;
   p.wall_rtt_p99 = 2e-3;
   p.min_timeout = 1.0;
+  p.coll_calls = 12;
+  p.coll_mean_bytes = 48;
+  p.coll_max_bytes = 96;
+  p.coll_group = 8;
+  p.coll_o2m = 4;
+  p.coll_m2o = 3;
+  p.coll_a2a = 5;
   return p;
 }
 
@@ -234,6 +241,113 @@ TEST(TuneDecisions, TunedTimeoutCapsAtClauseValue) {
   site.rtt_p99 = 0.0;
   EXPECT_DOUBLE_EQ(tune::tuned_timeout(&site, 0.5), 0.5);  // no data
   EXPECT_DOUBLE_EQ(tune::tuned_timeout(nullptr, 0.5), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Collective algorithm selection: decision pins on the cray model in both
+// asymptotic regimes, applicability checks, and CID_COLL parsing.
+// ---------------------------------------------------------------------------
+
+tune::CollChoice choose(tune::CollOp op, std::size_t block, int nprocs,
+                        const tune::SiteProfile* profile = nullptr) {
+  const bool vector_op = op == tune::CollOp::Bcast ||
+                         op == tune::CollOp::Reduce ||
+                         op == tune::CollOp::Allreduce;
+  const tune::CollShape shape{
+      block,
+      vector_op ? block : block * static_cast<std::size_t>(nprocs), nprocs};
+  return tune::choose_collective(op, shape, MachineModel::cray_xk7_gemini(),
+                                 profile);
+}
+
+TEST(TuneColl, DecisionPinsOnCrayModel) {
+  using tune::CollAlgo;
+  using tune::CollOp;
+  // Latency-bound shapes take the logarithmic algorithms; bandwidth-bound
+  // shapes take the pipelined / windowed ones. All pins sit comfortably
+  // inside their asymptotic regime so small model tweaks don't flip them.
+  EXPECT_EQ(choose(CollOp::Bcast, 8, 1024).algo, CollAlgo::Binomial);
+  EXPECT_EQ(choose(CollOp::Bcast, 16u << 20, 64).algo, CollAlgo::VanDeGeijn);
+  EXPECT_EQ(choose(CollOp::Gather, 64, 4).algo, CollAlgo::Flat);
+  EXPECT_EQ(choose(CollOp::Gather, 64, 256).algo, CollAlgo::Binomial);
+  EXPECT_EQ(choose(CollOp::Scatter, 64, 256).algo, CollAlgo::Binomial);
+  EXPECT_EQ(choose(CollOp::Allgather, 2, 1024).algo,
+            CollAlgo::RecursiveDoubling);
+  EXPECT_EQ(choose(CollOp::Allgather, 4096, 1024).algo, CollAlgo::Ring);
+  EXPECT_EQ(choose(CollOp::Allgather, 2, 1000).algo, CollAlgo::Ring)
+      << "recursive doubling must not fire on non-power-of-two groups";
+  EXPECT_EQ(choose(CollOp::Alltoall, 8, 1024).algo, CollAlgo::Bruck);
+  EXPECT_EQ(choose(CollOp::Alltoall, 64u << 10, 1024).algo,
+            CollAlgo::PairwiseWindow);
+  EXPECT_EQ(choose(CollOp::Reduce, 8, 1024).algo, CollAlgo::Binomial);
+  EXPECT_EQ(choose(CollOp::Reduce, 4u << 20, 64).algo,
+            CollAlgo::Rabenseifner);
+  EXPECT_EQ(choose(CollOp::Allreduce, 8, 1024).algo,
+            CollAlgo::RecursiveDoubling);
+  EXPECT_EQ(choose(CollOp::Allreduce, 16u << 20, 1024).algo, CollAlgo::Ring);
+  // Degenerate group.
+  EXPECT_EQ(choose(CollOp::Allreduce, 8, 1).algo, CollAlgo::Flat);
+}
+
+TEST(TuneColl, DecisionsAreDeterministic) {
+  for (int i = 0; i < 3; ++i) {
+    const auto a = choose(tune::CollOp::Alltoall, 8, 1024);
+    const auto b = choose(tune::CollOp::Alltoall, 8, 1024);
+    EXPECT_EQ(a.algo, b.algo);
+    EXPECT_STREQ(a.reason, b.reason);
+  }
+}
+
+TEST(TuneColl, ProfileSteeringOverridesCallShape) {
+  // A recorded site decides by its observed mean block size: a site whose
+  // history says "8-byte blocks" keeps Bruck even when one call is large.
+  auto site = sample_site();
+  site.coll_calls = 100;
+  site.coll_mean_bytes = 8;
+  EXPECT_EQ(choose(tune::CollOp::Alltoall, 64u << 10, 1024).algo,
+            tune::CollAlgo::PairwiseWindow);
+  EXPECT_EQ(choose(tune::CollOp::Alltoall, 64u << 10, 1024, &site).algo,
+            tune::CollAlgo::Bruck);
+  // A profile with no collective history leaves the call shape in charge.
+  site.coll_calls = 0;
+  EXPECT_EQ(choose(tune::CollOp::Alltoall, 64u << 10, 1024, &site).algo,
+            tune::CollAlgo::PairwiseWindow);
+}
+
+TEST(TuneColl, AlgoValidityMatrix) {
+  using tune::CollAlgo;
+  using tune::CollOp;
+  EXPECT_TRUE(tune::coll_algo_valid(CollOp::Bcast, CollAlgo::VanDeGeijn, 8));
+  EXPECT_FALSE(tune::coll_algo_valid(CollOp::Bcast, CollAlgo::Bruck, 8));
+  EXPECT_TRUE(
+      tune::coll_algo_valid(CollOp::Allgather, CollAlgo::RecursiveDoubling, 8));
+  EXPECT_FALSE(
+      tune::coll_algo_valid(CollOp::Allgather, CollAlgo::RecursiveDoubling, 6));
+  EXPECT_TRUE(tune::coll_algo_valid(CollOp::Allreduce, CollAlgo::Ring, 6));
+  EXPECT_FALSE(tune::coll_algo_valid(CollOp::Gather, CollAlgo::Ring, 6));
+}
+
+TEST(TuneColl, ParseOverridesRoundTrip) {
+  auto parsed = tune::parse_coll_overrides(
+      "alltoall:bruck,allreduce:rd,allgather:recursive_doubling");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const auto& o = parsed.value();
+  EXPECT_EQ(o[static_cast<std::size_t>(tune::CollOp::Alltoall)],
+            tune::CollAlgo::Bruck);
+  EXPECT_EQ(o[static_cast<std::size_t>(tune::CollOp::Allreduce)],
+            tune::CollAlgo::RecursiveDoubling);
+  EXPECT_EQ(o[static_cast<std::size_t>(tune::CollOp::Allgather)],
+            tune::CollAlgo::RecursiveDoubling);
+  EXPECT_FALSE(o[static_cast<std::size_t>(tune::CollOp::Bcast)].has_value());
+}
+
+TEST(TuneColl, ParseOverridesRejectsBadEntries) {
+  EXPECT_FALSE(tune::parse_coll_overrides("alltoall").is_ok());
+  EXPECT_FALSE(tune::parse_coll_overrides("frobnicate:ring").is_ok());
+  EXPECT_FALSE(tune::parse_coll_overrides("alltoall:warp").is_ok());
+  EXPECT_FALSE(tune::parse_coll_overrides("bcast:bruck").is_ok());
+  EXPECT_TRUE(tune::parse_coll_overrides("").is_ok());
+  EXPECT_TRUE(tune::parse_coll_overrides("alltoall:bruck,").is_ok());
 }
 
 // ---------------------------------------------------------------------------

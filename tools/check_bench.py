@@ -20,7 +20,7 @@ import json
 import sys
 
 
-KNOWN_BENCHES = ("scale", "tune")
+KNOWN_BENCHES = ("scale", "tune", "coll")
 
 
 def rows(path):

@@ -264,6 +264,16 @@ int tune_main(int argc, char** argv) {
       if (p.min_timeout > 0.0) {
         std::printf("  min timeout   %.3g s\n", p.min_timeout);
       }
+      if (p.coll_calls > 0) {
+        std::printf("  collectives   %llu call(s); block mean %.1f B max "
+                    "%.0f B; group mean %.1f\n",
+                    static_cast<unsigned long long>(p.coll_calls),
+                    p.coll_mean_bytes, p.coll_max_bytes, p.coll_group);
+        std::printf("  patterns      o2m %llu, m2o %llu, a2a %llu\n",
+                    static_cast<unsigned long long>(p.coll_o2m),
+                    static_cast<unsigned long long>(p.coll_m2o),
+                    static_cast<unsigned long long>(p.coll_a2a));
+      }
     }
     return kExitClean;
   }
@@ -320,6 +330,40 @@ int tune_main(int argc, char** argv) {
         std::printf("  reliability   -> timeout %.3g s (clause %.3g s, "
                     "4 x rtt p99 = %.3g s)\n",
                     tuned, p.min_timeout, 4.0 * p.rtt_p99);
+      }
+
+      if (p.coll_calls > 0) {
+        // Replay the collective algorithm chooser per recorded pattern,
+        // exactly as the CID_TUNE=on steering hint would compute it.
+        const int group = std::max(
+            1, static_cast<int>(p.coll_group + 0.5));
+        const auto block = static_cast<std::size_t>(p.coll_mean_bytes + 0.5);
+        const struct {
+          const char* label;
+          std::uint64_t calls;
+          cid::tune::CollOp op;
+        } rows[] = {
+            {"ONE_TO_MANY", p.coll_o2m, cid::tune::CollOp::Bcast},
+            {"MANY_TO_ONE", p.coll_m2o, cid::tune::CollOp::Gather},
+            {"ALL_TO_ALL", p.coll_a2a, cid::tune::CollOp::Alltoall},
+        };
+        for (const auto& row : rows) {
+          if (row.calls == 0) continue;
+          const cid::tune::CollShape shape{
+              block,
+              row.op == cid::tune::CollOp::Bcast
+                  ? block
+                  : block * static_cast<std::size_t>(group),
+              group};
+          const auto cc =
+              cid::tune::choose_collective(row.op, shape, model, &p);
+          std::printf("  %-14s-> %s[%s] (mean block %.1f B, group %d)\n"
+                      "                   %s\n",
+                      row.label,
+                      std::string(cid::tune::coll_op_name(row.op)).c_str(),
+                      std::string(cid::tune::coll_algo_name(cc.algo)).c_str(),
+                      p.coll_mean_bytes, group, cc.reason);
+        }
       }
     }
     if (!only.empty() && shown == 0) {

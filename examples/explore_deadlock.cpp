@@ -1,0 +1,21 @@
+// Seeded symbolic-clause deadlock for `cidt explore` (docs/EXPLORE.md).
+//
+// A ring shift whose send guard depends on a runtime value: the static
+// analyzer cannot evaluate `sendwhen(k > 0)` and skips the directive
+// (`cidt check` is clean apart from the skip note). The explorer branches
+// the guard both ways per rank; in the schedule where every rank's guard
+// is false no message is ever sent, every rank blocks on its predecessor,
+// and the wait graph is one cycle — reported as CID-E100 with the witness
+// schedule that replays it.
+int a[8];
+int b[8];
+int k;  // runtime-chosen flag: opaque to the static analyzer
+
+void exchange();
+
+void step() {
+#pragma comm_p2p sbuf(a) rbuf(b) count(4) receiver((rank + 1) % nprocs) \
+    sender((rank + nprocs - 1) % nprocs) sendwhen(k > 0) \
+    receivewhen(rank >= 0)
+  { exchange(); }
+}

@@ -1,0 +1,27 @@
+// Seeded wildcard value race for `cidt explore` (docs/EXPLORE.md).
+//
+// Both directives name a symbolic sender (`k`), so the receives at rank 0
+// lower to wildcard receives and the static analyzer must skip the pair
+// (`cidt check` reports the skip note and nothing else). Dynamically,
+// rank 1 finishes the first stage without work while rank 2 races ahead to
+// the second, so two messages from *different* program sites are in flight
+// toward rank 0's first wildcard receive at once. `cidt explore --nprocs 3`
+// finds the ordering where they swap and reports CID-E102 with a witness
+// schedule; replaying the witness reproduces it deterministically.
+int a[8];
+int b[8];
+int c[8];
+int d[8];
+int k;  // runtime-chosen peer: opaque to the static analyzer
+
+void stage1();
+void stage2();
+
+void step() {
+#pragma comm_p2p sbuf(a) rbuf(b) count(4) receiver(0) sender(k) \
+    sendwhen(rank == 1) receivewhen(rank == 0)
+  { stage1(); }
+#pragma comm_p2p sbuf(c) rbuf(d) count(4) receiver(0) sender(k) \
+    sendwhen(rank == 2) receivewhen(rank == 0)
+  { stage2(); }
+}

@@ -49,6 +49,13 @@ void print_human(const FileReport& file, std::ostream& out) {
         << '\n';
     if (!d.hint.empty()) out << "  hint: " << d.hint << '\n';
   }
+  if (file.report.symbolic_skips > 0) {
+    out << file.path << ": note: " << file.report.symbolic_skips
+        << " directive(s) skipped: symbolic clause(s) reference variables "
+           "beyond rank/nprocs; nothing is provable statically\n"
+        << "  hint: run `cidt explore " << file.path
+        << "` to check the skipped directives dynamically\n";
+  }
 }
 
 namespace {
@@ -82,6 +89,7 @@ std::string to_json(const std::vector<FileReport>& files) {
   int errors = 0;
   int warnings = 0;
   int directives = 0;
+  int symbolic_skips = 0;
   std::string out = "{\"cidlint\":1,\"files\":[";
   bool first_file = true;
   for (const auto& file : files) {
@@ -90,6 +98,7 @@ std::string to_json(const std::vector<FileReport>& files) {
     out += "{\"path\":";
     append_json_string(out, file.path);
     out += ",\"directives\":" + std::to_string(file.report.directives_checked);
+    out += ",\"symbolic_skips\":" + std::to_string(file.report.symbolic_skips);
     out += ",\"diagnostics\":[";
     bool first = true;
     for (const auto& d : file.report.diagnostics) {
@@ -113,9 +122,11 @@ std::string to_json(const std::vector<FileReport>& files) {
     errors += file.report.errors();
     warnings += file.report.warnings();
     directives += file.report.directives_checked;
+    symbolic_skips += file.report.symbolic_skips;
   }
   out += "],\"summary\":{\"files\":" + std::to_string(files.size()) +
          ",\"directives\":" + std::to_string(directives) +
+         ",\"symbolic_skips\":" + std::to_string(symbolic_skips) +
          ",\"errors\":" + std::to_string(errors) +
          ",\"warnings\":" + std::to_string(warnings) + "}}";
   return out;

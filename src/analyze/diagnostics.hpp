@@ -30,6 +30,11 @@ struct Diagnostic {
 struct Report {
   std::vector<Diagnostic> diagnostics;
   int directives_checked = 0;
+  /// Directives whose match sweep was skipped because a clause references
+  /// variables beyond rank/nprocs — nothing is provable statically about
+  /// them. Surfaced (never silently dropped) in both renderers: these are
+  /// exactly the directives `cidt explore` checks dynamically.
+  int symbolic_skips = 0;
 
   int errors() const noexcept;
   int warnings() const noexcept;

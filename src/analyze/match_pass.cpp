@@ -181,7 +181,13 @@ void check_match_and_counts(AnalysisContext& ctx, const DirectiveNode& node,
     const auto* root = merged.find("root");
     if (root == nullptr) return;
     SweptExpr root_expr = prepare(ctx, node, merged, "root");
-    if (root_expr.symbolic) return;
+    if (root_expr.symbolic) {
+      // Parse failures already reported CID-P003; a genuinely symbolic root
+      // is a silent skip the user must hear about (see Report::symbolic_skips
+      // and `cidt explore`).
+      if (root_expr.expr.valid()) ++ctx.report.symbolic_skips;
+      return;
+    }
     for (int nprocs = ctx.options.nprocs_min;
          nprocs <= ctx.options.nprocs_max; ++nprocs) {
       Env env;
@@ -210,7 +216,16 @@ void check_match_and_counts(AnalysisContext& ctx, const DirectiveNode& node,
   if (!sender.present || !receiver.present) return;  // CID-P005 already fired
   if (sender.symbolic || receiver.symbolic || sendwhen.symbolic ||
       receivewhen.symbolic) {
-    return;  // symbolic directive: nothing provable, nothing reported
+    // Nothing provable statically. Count the skip (unless a CID-P003 parse
+    // error already fired for the clause) so the renderers can tell the user
+    // this directive needs `cidt explore` instead of passing silently.
+    const bool unparsable =
+        (sender.present && !sender.expr.valid()) ||
+        (receiver.present && !receiver.expr.valid()) ||
+        (sendwhen.present && !sendwhen.expr.valid()) ||
+        (receivewhen.present && !receivewhen.expr.valid());
+    if (!unparsable) ++ctx.report.symbolic_skips;
+    return;
   }
 
   bool reported_range = false;

@@ -1,0 +1,600 @@
+#include "explore/explore.hpp"
+
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "explore/program.hpp"
+#include "explore/session.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/comm.hpp"
+#include "mpi/p2p.hpp"
+#include "mpi/request.hpp"
+#include "net/transport.hpp"
+#include "rt/runtime.hpp"
+#include "simnet/machine_model.hpp"
+
+namespace cid::explore {
+
+namespace {
+
+using detail::Candidate;
+using detail::ChoicePoint;
+using detail::DecisionKind;
+using detail::kP2PTag;
+using detail::RbufReuse;
+using detail::SendRecord;
+using detail::Session;
+using detail::WaitInfo;
+
+std::optional<core::ExprValue> eval_clause(const ClauseExpr& clause, int rank,
+                                           int nprocs) {
+  core::Env env;
+  env.bind("rank", rank);
+  env.bind("nprocs", nprocs);
+  auto value = clause.expr.eval(env);
+  if (!value.is_ok()) return std::nullopt;
+  return value.value();
+}
+
+/// Guard evaluation: absent means true; symbolic branches the execution;
+/// a failed evaluation (division by zero) is modeled as false with a note.
+bool eval_guard(Session& session, const ClauseExpr& guard, int rank,
+                int nprocs, int site, int line) {
+  if (!guard.present) return true;
+  if (guard.symbolic) {
+    return session.decide(DecisionKind::Guard, rank, site, 2) == 1;
+  }
+  auto value = eval_clause(guard, rank, nprocs);
+  if (!value) {
+    session.note("line " + std::to_string(line) + ": guard fails to evaluate "
+                 "on rank " + std::to_string(rank) + "; treated as false");
+    return false;
+  }
+  return *value != 0;
+}
+
+void run_collective(const Op& op, Session& session, const mpi::Comm& world,
+                    int rank, int nprocs) {
+  int root = 0;
+  if (op.root.present) {
+    if (op.root.symbolic) {
+      // A collective's root must be agreed by every rank (MPI semantics):
+      // one shared decision, not a per-rank branch.
+      root = session.decide_shared(rank, op.site, nprocs);
+    } else {
+      auto value = eval_clause(op.root, rank, nprocs);
+      if (!value || *value < 0 || *value >= nprocs) {
+        session.note("line " + std::to_string(op.line) +
+                     ": collective skipped on rank " + std::to_string(rank) +
+                     " (root unevaluable or out of range)");
+        return;
+      }
+      root = static_cast<int>(*value);
+    }
+  }
+  session.set_wait(rank, {WaitInfo::kCollective, -1, op.line});
+  std::vector<int> send(nprocs, rank);
+  std::vector<int> recv(nprocs, 0);
+  switch (op.kind) {
+    case CollectiveKind::Bcast:
+      mpi::bcast(world, send.data(), 1, root);
+      break;
+    case CollectiveKind::Gather:
+      mpi::gather(world, send.data(), 1, recv.data(), root);
+      break;
+    case CollectiveKind::AllToAll:
+      mpi::alltoall(world, send.data(), 1, recv.data());
+      break;
+  }
+  session.set_wait(rank, {WaitInfo::kNone, -1, 0});
+}
+
+void interpret_rank(const Program& program, Session& session,
+                    rt::RankCtx& ctx) {
+  const int rank = ctx.rank();
+  const int nprocs = ctx.nranks();
+  const mpi::Comm world = mpi::Comm::world();
+  for (const SyncScope& scope : program.scopes) {
+    struct PostedRecv {
+      mpi::Request request;
+      int line = 0;
+      bool wild = false;
+      int src = -1;
+      std::array<int, 2> data{{-1, -1}};
+      std::string rbuf;
+    };
+    std::deque<PostedRecv> recvs;  // deque: stable payload addresses
+    std::vector<mpi::Request> sends;
+    for (const Op& op : scope.ops) {
+      if (op.collective) {
+        run_collective(op, session, world, rank, nprocs);
+        continue;
+      }
+      // Receive side first (the translator posts irecv before isend).
+      if (eval_guard(session, op.receivewhen, rank, nprocs, op.site,
+                     op.line)) {
+        int src = -1;
+        bool wild = false;
+        bool usable = true;
+        if (op.sender.symbolic) {
+          wild = true;
+          src = mpi::kAnySource;
+        } else {
+          auto value = eval_clause(op.sender, rank, nprocs);
+          if (!value || *value < 0 || *value >= nprocs) {
+            session.note("line " + std::to_string(op.line) +
+                         ": receive skipped on rank " + std::to_string(rank) +
+                         " (sender unevaluable or out of range)");
+            usable = false;
+          } else {
+            src = static_cast<int>(*value);
+          }
+        }
+        if (usable) {
+          if (!op.rbuf.empty()) {
+            for (const PostedRecv& pending : recvs) {
+              if (pending.rbuf == op.rbuf) {
+                session.note_rbuf_reuse(rank, pending.line, op.line, op.rbuf);
+                break;
+              }
+            }
+          }
+          recvs.push_back({{}, op.line, wild, src, {{-1, -1}}, op.rbuf});
+          PostedRecv& posted = recvs.back();
+          posted.request =
+              mpi::irecv(world, posted.data.data(), 2, src, kP2PTag);
+        }
+      }
+      // Send side.
+      if (eval_guard(session, op.sendwhen, rank, nprocs, op.site, op.line)) {
+        std::optional<int> dest;
+        if (op.receiver.symbolic) {
+          dest = session.decide(DecisionKind::Value, rank, op.site, nprocs);
+        } else {
+          auto value = eval_clause(op.receiver, rank, nprocs);
+          if (!value || *value < 0 || *value >= nprocs) {
+            session.note("line " + std::to_string(op.line) +
+                         ": send skipped on rank " + std::to_string(rank) +
+                         " (receiver unevaluable or out of range)");
+          } else {
+            dest = static_cast<int>(*value);
+          }
+        }
+        if (dest) {
+          const std::array<int, 2> payload{{op.site, rank}};
+          sends.push_back(
+              mpi::isend(world, payload.data(), 2, *dest, kP2PTag));
+        }
+      }
+    }
+    // Consolidated sync: complete the scope's receives in post order, then
+    // finalize the (eagerly completed) sends.
+    for (PostedRecv& posted : recvs) {
+      session.set_wait(
+          rank, {posted.wild ? WaitInfo::kWildRecv : WaitInfo::kExactRecv,
+                 posted.src, posted.line});
+      mpi::wait(posted.request);
+      session.note_recv(rank, posted.line, posted.data[0], posted.data[1]);
+    }
+    session.set_wait(rank, {WaitInfo::kNone, -1, 0});
+    for (mpi::Request& request : sends) mpi::wait(request);
+  }
+  session.rank_done(rank);
+}
+
+struct ExecutionOutcome {
+  std::vector<ChoicePoint> choices;
+  bool deadlocked = false;
+  bool cyclic = false;
+  bool truncated = false;
+  std::vector<WaitInfo> snapshot;
+  std::vector<SendRecord> sends;
+  std::vector<RbufReuse> rbuf_reuses;
+  std::vector<std::string> notes;
+  std::string error;
+};
+
+ExecutionOutcome run_one(const Program& program, const Options& options,
+                         std::vector<int> schedule) {
+  Session session(program, options.nprocs, options.dpor, std::move(schedule),
+                  options.max_decisions);
+  rt::RunOptions run_options;
+  // Determinism is load-bearing: the explicit sim transport (never
+  // CID_BACKEND) and a single pooled worker make every execution a pure
+  // function of (program, schedule).
+  run_options.transport = net::make_transport(net::Backend::Sim);
+  run_options.scheduler = rt::sched::Mode::kPool;
+  run_options.sim_workers = 1;
+  run_options.world_setup = [&](rt::World& world) { session.install(world); };
+  run_options.idle_hook = [&] { return session.on_idle(); };
+  ExecutionOutcome outcome;
+  try {
+    rt::run(options.nprocs, simnet::MachineModel::cray_xk7_gemini(),
+            [&](rt::RankCtx& ctx) { interpret_rank(program, session, ctx); },
+            run_options);
+  } catch (const CidError& error) {
+    if (!session.deadlocked() && !session.truncated()) {
+      outcome.error = error.what();
+    }
+  }
+  outcome.choices = session.choices();
+  outcome.deadlocked = session.deadlocked();
+  outcome.cyclic = session.cyclic();
+  outcome.truncated = session.truncated();
+  outcome.snapshot = session.wait_snapshot();
+  outcome.sends = session.sends();
+  outcome.rbuf_reuses = session.rbuf_reuses();
+  outcome.notes = session.notes();
+  return outcome;
+}
+
+std::vector<int> chosen_prefix(const std::vector<ChoicePoint>& choices,
+                               std::size_t length) {
+  std::vector<int> prefix;
+  prefix.reserve(length);
+  for (std::size_t i = 0; i < length && i < choices.size(); ++i) {
+    prefix.push_back(choices[i].chosen);
+  }
+  return prefix;
+}
+
+std::string wait_description(const WaitInfo& wait, int rank) {
+  switch (wait.kind) {
+    case WaitInfo::kExactRecv:
+      return "rank " + std::to_string(rank) + " waits for a receive from " +
+             "rank " + std::to_string(wait.peer) + " (line " +
+             std::to_string(wait.line) + ")";
+    case WaitInfo::kWildRecv:
+      return "rank " + std::to_string(rank) +
+             " waits on a wildcard receive with no candidate message (line " +
+             std::to_string(wait.line) + ")";
+    case WaitInfo::kCollective:
+      return "rank " + std::to_string(rank) +
+             " is blocked inside a collective (line " +
+             std::to_string(wait.line) + ")";
+    case WaitInfo::kNone:
+      return "rank " + std::to_string(rank) + " is blocked in the runtime";
+    case WaitInfo::kDone:
+      return "rank " + std::to_string(rank) + " finished";
+  }
+  return {};
+}
+
+/// Collects diagnostics across executions, deduplicating by content key so
+/// the same finding reached along many schedules reports once (with the
+/// first witness).
+struct Harvest {
+  const Program* program;
+  const Options* options;
+  analyze::Report report;
+  std::vector<Witness> witnesses;
+  std::set<std::string> seen;
+  std::set<std::string> notes;
+
+  std::string replay_hint(const std::vector<int>& schedule) const {
+    return "replay: cidt explore --nprocs " + std::to_string(options->nprocs) +
+           (options->dpor ? "" : " --naive") + " --schedule " +
+           format_schedule(schedule) + " --max-executions 1 <file>";
+  }
+
+  void add(const std::string& key, const std::string& id,
+           analyze::Severity severity, int line, const std::string& message,
+           const std::vector<int>& schedule) {
+    if (!seen.insert(key).second) return;
+    report.add(id, severity, line, 0,
+               message + " [witness schedule " + format_schedule(schedule) +
+                   "]",
+               replay_hint(schedule));
+    witnesses.push_back({id, line, schedule});
+  }
+
+  void harvest(const ExecutionOutcome& outcome) {
+    for (const std::string& note : outcome.notes) notes.insert(note);
+    const std::vector<int> full = chosen_prefix(outcome.choices,
+                                                outcome.choices.size());
+    if (outcome.deadlocked) {
+      std::string signature;
+      std::string description;
+      int line = 0;
+      int blocked = 0;
+      for (std::size_t r = 0; r < outcome.snapshot.size(); ++r) {
+        const WaitInfo& wait = outcome.snapshot[r];
+        signature += std::to_string(static_cast<int>(wait.kind)) + ":" +
+                     std::to_string(wait.peer) + ":" +
+                     std::to_string(wait.line) + ";";
+        if (wait.kind == WaitInfo::kDone) continue;
+        ++blocked;
+        if (!description.empty()) description += "; ";
+        description += wait_description(wait, static_cast<int>(r));
+        if (line == 0 && wait.line > 0) line = wait.line;
+      }
+      const std::string id = outcome.cyclic ? "CID-E100" : "CID-E101";
+      add(id + signature, id, analyze::Severity::Error, line,
+          "schedule-space deadlock (" + std::to_string(blocked) + " of " +
+              std::to_string(options->nprocs) + " ranks blocked" +
+              (outcome.cyclic ? ", cyclic wait" : ", no cycle: orphaned waits") +
+              "): " + description,
+          full);
+    }
+    // Wildcard races: every Wild decision whose candidate set (per receiving
+    // rank) holds >= 2 messages is nondeterministic. Distinct send sites
+    // feed the receive from different source lines — a value race (E102);
+    // one site with several senders is a match-order race (E103).
+    for (std::size_t i = 0; i < outcome.choices.size(); ++i) {
+      const ChoicePoint& point = outcome.choices[i];
+      if (point.kind != DecisionKind::Wild) continue;
+      std::map<int, std::vector<const Candidate*>> by_rank;
+      for (const Candidate& candidate : point.candidates) {
+        by_rank[candidate.recv_rank].push_back(&candidate);
+      }
+      for (const auto& [recv_rank, candidates] : by_rank) {
+        if (candidates.size() < 2) continue;
+        std::set<int> sites;
+        std::set<int> srcs;
+        bool all_concurrent = true;
+        for (const Candidate* candidate : candidates) {
+          if (candidate->site >= 0) sites.insert(candidate->site);
+          srcs.insert(candidate->src);
+        }
+        for (std::size_t a = 0; a + 1 < candidates.size(); ++a) {
+          for (std::size_t b = a + 1; b < candidates.size(); ++b) {
+            const SendRecord& sa = outcome.sends[candidates[a]->uid - 1];
+            const SendRecord& sb = outcome.sends[candidates[b]->uid - 1];
+            if (!Session::concurrent(sa, sb)) all_concurrent = false;
+          }
+        }
+        const int line = candidates.front()->recv_line;
+        std::string origin;
+        for (const Candidate* candidate : candidates) {
+          if (!origin.empty()) origin += ", ";
+          origin += "rank " + std::to_string(candidate->src);
+          if (candidate->site >= 0) {
+            origin += " (line " +
+                      std::to_string(program->site_lines[candidate->site]) +
+                      ")";
+          }
+        }
+        const std::vector<int> witness = chosen_prefix(outcome.choices, i + 1);
+        std::string key_sites;
+        for (int site : sites) key_sites += std::to_string(site) + ",";
+        std::string key_srcs;
+        for (int src : srcs) key_srcs += std::to_string(src) + ",";
+        if (sites.size() > 1) {
+          add("E102:" + std::to_string(recv_rank) + ":" +
+                  std::to_string(line) + ":" + key_sites,
+              "CID-E102", analyze::Severity::Error, line,
+              "wildcard receive value race on rank " +
+                  std::to_string(recv_rank) + ": " +
+                  std::to_string(candidates.size()) +
+                  " concurrent messages from different directives compete — " +
+                  origin + "; the received value depends on the schedule" +
+                  (all_concurrent ? "" : " (some sends are ordered)"),
+              witness);
+        } else {
+          add("E103:" + std::to_string(recv_rank) + ":" +
+                  std::to_string(line) + ":" + key_sites + key_srcs,
+              "CID-E103", analyze::Severity::Warning, line,
+              "wildcard match-order race on rank " +
+                  std::to_string(recv_rank) + ": " +
+                  std::to_string(candidates.size()) +
+                  " concurrent sends from the same directive compete — " +
+                  origin + "; completion order is schedule-dependent",
+              witness);
+        }
+      }
+    }
+    if (!outcome.deadlocked && !outcome.truncated && outcome.error.empty()) {
+      std::vector<const SendRecord*> stranded;
+      for (const SendRecord& send : outcome.sends) {
+        if (send.site >= 0 && !send.extracted) stranded.push_back(&send);
+      }
+      if (!stranded.empty()) {
+        std::string key = "E104:";
+        std::string detail;
+        for (std::size_t k = 0; k < stranded.size(); ++k) {
+          key += std::to_string(stranded[k]->site) + ",";
+          if (k >= 3) continue;
+          if (!detail.empty()) detail += "; ";
+          detail += "send at line " +
+                    std::to_string(program->site_lines[stranded[k]->site]) +
+                    " (rank " + std::to_string(stranded[k]->src) + " -> " +
+                    std::to_string(stranded[k]->dest) + ")";
+        }
+        if (stranded.size() > 3) detail += "; ...";
+        add(key, "CID-E104", analyze::Severity::Warning,
+            program->site_lines[stranded.front()->site],
+            std::to_string(stranded.size()) +
+                " message(s) left unreceived at exit: " + detail,
+            full);
+      }
+    }
+    for (const RbufReuse& reuse : outcome.rbuf_reuses) {
+      add("E105:" + std::to_string(reuse.line_first) + ":" +
+              std::to_string(reuse.line_second) + ":" + reuse.buffer,
+          "CID-E105", analyze::Severity::Warning, reuse.line_second,
+          "receive at line " + std::to_string(reuse.line_second) +
+              " posts into buffer '" + reuse.buffer +
+              "' while the receive at line " +
+              std::to_string(reuse.line_first) +
+              " is still in flight (seen on rank " +
+              std::to_string(reuse.rank) + ")",
+          full);
+    }
+    if (!outcome.error.empty()) {
+      notes.insert("internal: execution failed: " + outcome.error);
+    }
+  }
+};
+
+}  // namespace
+
+std::string format_schedule(const std::vector<int>& schedule) {
+  if (schedule.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(schedule[i]);
+  }
+  return out;
+}
+
+Result<std::vector<int>> parse_schedule(std::string_view text) {
+  std::vector<int> out;
+  if (text.empty() || text == "-") return out;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string token(text.substr(begin, end - begin));
+    try {
+      std::size_t used = 0;
+      const int value = std::stoi(token, &used);
+      if (used != token.size() || value < 0) throw std::invalid_argument("");
+      out.push_back(value);
+    } catch (...) {
+      return Status(ErrorCode::ParseError,
+                    "bad schedule entry '" + token +
+                        "': expected a comma-separated list of choice "
+                        "indices, e.g. 1,0,2");
+    }
+    begin = end + 1;
+    if (end == text.size()) break;
+  }
+  return out;
+}
+
+Result<ExploreResult> explore_source(std::string_view source,
+                                     const Options& options) {
+  if (options.nprocs < 1) {
+    return Status(ErrorCode::InvalidArgument, "--nprocs must be >= 1");
+  }
+  auto built = build_program(source);
+  if (!built.is_ok()) return built.status();
+  const Program program = std::move(built).take();
+
+  ExploreResult result;
+  result.nprocs = options.nprocs;
+  result.dpor = options.dpor;
+  result.symbolic_clauses = program.symbolic_clauses;
+
+  Harvest harvest{&program, &options, {}, {}, {}, {}};
+  for (const std::string& note : program.notes) harvest.notes.insert(note);
+
+  // Stateless DFS over schedule prefixes. Each execution records its full
+  // decision sequence; every untaken alternative at or beyond the prefix
+  // becomes a new prefix to run. The seed prefix (Options::schedule) is
+  // fixed — replay never re-expands below it.
+  std::vector<std::vector<int>> worklist;
+  worklist.push_back(options.schedule);
+  const std::size_t seed_length = options.schedule.size();
+  while (!worklist.empty() && result.executions < options.max_executions) {
+    std::vector<int> prefix = std::move(worklist.back());
+    worklist.pop_back();
+    const ExecutionOutcome outcome = run_one(program, options, prefix);
+    ++result.executions;
+    result.decisions += static_cast<long long>(outcome.choices.size());
+    result.max_depth = std::max(result.max_depth,
+                                static_cast<int>(outcome.choices.size()));
+    harvest.harvest(outcome);
+    if (outcome.truncated) {
+      result.truncated = true;
+      continue;
+    }
+    for (std::size_t i = std::max(prefix.size(), seed_length);
+         i < outcome.choices.size(); ++i) {
+      for (int alt = 1; alt < outcome.choices[i].num_options; ++alt) {
+        std::vector<int> next = chosen_prefix(outcome.choices, i);
+        next.push_back(alt);
+        worklist.push_back(std::move(next));
+      }
+    }
+  }
+  if (!worklist.empty()) result.truncated = true;
+
+  harvest.report.directives_checked =
+      static_cast<int>(program.site_lines.size());
+  harvest.report.sort();
+  result.report = std::move(harvest.report);
+  result.witnesses = std::move(harvest.witnesses);
+  result.notes.assign(harvest.notes.begin(), harvest.notes.end());
+  return result;
+}
+
+std::string to_json(const std::string& path, const ExploreResult& result) {
+  std::string out;
+  auto append_escaped = [&out](std::string_view text) {
+    out += '"';
+    for (char c : text) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out += buffer;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+  };
+  out += "{\"cidexplore\":1,\"file\":";
+  append_escaped(path);
+  out += ",\"nprocs\":" + std::to_string(result.nprocs);
+  out += ",\"mode\":\"" + std::string(result.dpor ? "dpor" : "naive") + "\"";
+  out += ",\"executions\":" + std::to_string(result.executions);
+  out += ",\"decisions\":" + std::to_string(result.decisions);
+  out += ",\"max_depth\":" + std::to_string(result.max_depth);
+  out += ",\"truncated\":" + std::string(result.truncated ? "true" : "false");
+  out += ",\"symbolic_clauses\":" + std::to_string(result.symbolic_clauses);
+  out += ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < result.report.diagnostics.size(); ++i) {
+    const analyze::Diagnostic& diagnostic = result.report.diagnostics[i];
+    if (i > 0) out += ',';
+    out += "{\"id\":";
+    append_escaped(diagnostic.id);
+    out += ",\"severity\":\"";
+    out += diagnostic.severity == analyze::Severity::Error ? "error"
+                                                           : "warning";
+    out += "\",\"line\":" + std::to_string(diagnostic.line);
+    out += ",\"message\":";
+    append_escaped(diagnostic.message);
+    out += ",\"hint\":";
+    append_escaped(diagnostic.hint);
+    out += '}';
+  }
+  out += "],\"witnesses\":[";
+  for (std::size_t i = 0; i < result.witnesses.size(); ++i) {
+    const Witness& witness = result.witnesses[i];
+    if (i > 0) out += ',';
+    out += "{\"id\":";
+    append_escaped(witness.id);
+    out += ",\"line\":" + std::to_string(witness.line);
+    out += ",\"schedule\":[";
+    for (std::size_t k = 0; k < witness.schedule.size(); ++k) {
+      if (k > 0) out += ',';
+      out += std::to_string(witness.schedule[k]);
+    }
+    out += "]}";
+  }
+  out += "],\"notes\":[";
+  for (std::size_t i = 0; i < result.notes.size(); ++i) {
+    if (i > 0) out += ',';
+    append_escaped(result.notes[i]);
+  }
+  out += "],\"summary\":{\"errors\":" + std::to_string(result.report.errors());
+  out += ",\"warnings\":" + std::to_string(result.report.warnings());
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace cid::explore

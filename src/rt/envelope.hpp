@@ -29,6 +29,12 @@ struct Envelope {
   simnet::SimTime available_at = 0.0;
   /// Per-destination arrival sequence number (set by the mailbox).
   std::uint64_t seq = 0;
+  /// Stable per-run message identity assigned at the World::deliver seam
+  /// when a schedule-exploration session is installed (cid::explore); 0
+  /// otherwise. Unlike seq it is assigned before transport routing, so an
+  /// exploration schedule can name a message independently of arrival
+  /// order.
+  std::uint64_t explore_uid = 0;
   /// Set by the fault layer when the payload was lost in transit. A faulted
   /// envelope is a tombstone: it keeps the matching fields (src/tag/channel/
   /// context) and the virtual time at which the loss becomes observable, but

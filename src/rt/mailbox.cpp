@@ -115,6 +115,7 @@ std::optional<Mailbox::Found> Mailbox::find_in_bucket(Bucket& bucket,
   }
   for (auto it = bucket.by_seq.lower_bound(floor); it != bucket.by_seq.end();
        ++it) {
+    if (wildcard_gate_ && !wildcard_gate_(it->second)) continue;
     if (key.admits(it->second) &&
         (residual == nullptr || (*residual)(it->second))) {
       return Found{&bucket, it};
@@ -183,6 +184,7 @@ Envelope Mailbox::extract(Found found) {
   if (bucket.by_seq.empty()) {
     buckets_.erase(bucket_id(out.channel, out.context));
   }
+  if (extract_tap_) extract_tap_(out);
   return out;
 }
 
@@ -200,7 +202,12 @@ Mailbox::Found Mailbox::wait_match(std::unique_lock<std::mutex>& lock,
   std::uint64_t floor = 0;
   for (;;) {
     if (auto found = search(floor)) return *found;
-    floor = next_seq_;  // everything below was examined with these keys
+    // Everything below next_seq_ was examined with these keys and can be
+    // skipped on the next pass — unless a wildcard gate is installed, in
+    // which case a rejected envelope may be *released* later and must be
+    // rescanned (exploration mailboxes are tiny, so the lost watermark is
+    // cheap).
+    if (!wildcard_gate_) floor = next_seq_;
     throw_if_poisoned();
     Waiter waiter{waiter_keys};
     waiters_.push_back(&waiter);
@@ -231,7 +238,7 @@ std::optional<Envelope> Mailbox::wait_extract_for(
     if (auto found = find_any(keys, residual, floor)) {
       return extract(*found);
     }
-    floor = next_seq_;
+    if (!wildcard_gate_) floor = next_seq_;  // see wait_match
     throw_if_poisoned();
     Waiter waiter{keys};
     waiters_.push_back(&waiter);
@@ -320,6 +327,41 @@ std::optional<Mailbox::Header> Mailbox::peek(const Predicate& predicate) {
 std::size_t Mailbox::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return size_;
+}
+
+void Mailbox::set_explore_hooks(WildcardGate gate, ExtractTap tap) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wildcard_gate_ = std::move(gate);
+  extract_tap_ = std::move(tap);
+}
+
+std::vector<Mailbox::HeldCandidate> Mailbox::held_candidates() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HeldCandidate> held;
+  if (!wildcard_gate_) return held;
+  for (const Waiter* waiter : waiters_) {
+    for (const MatchKey& key : waiter->keys) {
+      if (key.exact()) continue;
+      const auto bucket = buckets_.find(bucket_id(key.channel, key.context));
+      if (bucket == buckets_.end()) continue;
+      for (const auto& [seq, envelope] : bucket->second.by_seq) {
+        (void)seq;
+        if (!key.admits(envelope) || wildcard_gate_(envelope)) continue;
+        held.push_back({envelope.explore_uid, envelope.src, envelope.tag,
+                        envelope.context});
+      }
+    }
+  }
+  std::sort(held.begin(), held.end(),
+            [](const HeldCandidate& a, const HeldCandidate& b) {
+              return a.uid < b.uid;
+            });
+  held.erase(std::unique(held.begin(), held.end(),
+                         [](const HeldCandidate& a, const HeldCandidate& b) {
+                           return a.uid == b.uid;
+                         }),
+             held.end());
+  return held;
 }
 
 void Mailbox::interrupt_all() {

@@ -149,6 +149,41 @@ class Mailbox {
   /// Number of queued envelopes (diagnostics).
   std::size_t size() const;
 
+  // ---- Schedule-exploration hooks (cid::explore) -------------------------
+  //
+  // A model-checking session makes the one visible source of nondeterminism
+  // — which envelope a wildcard (non-exact) key matches — a controlled
+  // decision: envelopes stay invisible to non-exact keys until the session's
+  // gate admits them, and every successful extraction is reported through a
+  // tap so the session can maintain its happens-before trace. Exact keys are
+  // never gated (their match is already deterministic by non-overtaking and
+  // post order). Both hooks are strictly inert when unset: the matching
+  // logic, wakeups and floor watermark behave byte-identically to the
+  // ungated mailbox, which is what keeps the golden fingerprints valid.
+
+  /// True when the gated envelope may be matched by a non-exact key.
+  using WildcardGate = std::function<bool(const Envelope&)>;
+  /// Observes every extracted envelope, called under the mailbox lock; must
+  /// not call back into this mailbox.
+  using ExtractTap = std::function<void(const Envelope&)>;
+
+  /// Install (or clear, with nullptrs) the exploration hooks. Install
+  /// before ranks start; not thread-safe against concurrent operations.
+  void set_explore_hooks(WildcardGate gate, ExtractTap tap);
+
+  /// A queued envelope admitted by some blocked waiter's non-exact key but
+  /// currently held back by the wildcard gate: the candidate set of one
+  /// schedule decision.
+  struct HeldCandidate {
+    std::uint64_t uid = 0;  ///< Envelope::explore_uid
+    int src = -1;
+    int tag = 0;
+    int context = 0;
+  };
+  /// Gate-held candidates visible to currently registered blocked waiters,
+  /// deduplicated, in uid order. Empty when no session is installed.
+  std::vector<HeldCandidate> held_candidates() const;
+
   /// Wake all waiters so they can observe the poisoned world and unwind.
   void interrupt_all();
 
@@ -236,6 +271,8 @@ class Mailbox {
   std::uint64_t next_seq_ = 0;
   std::size_t size_ = 0;
   std::function<bool()> poisoned_;
+  WildcardGate wildcard_gate_;
+  ExtractTap extract_tap_;
 };
 
 }  // namespace cid::rt

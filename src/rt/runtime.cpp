@@ -68,6 +68,7 @@ RunResult run(int nranks, const simnet::MachineModel& model, const RankFn& fn,
   if (options.interceptor != nullptr) {
     world.set_interceptor(options.interceptor);
   }
+  if (options.world_setup) options.world_setup(world);
   std::mutex failure_mutex;
   std::exception_ptr first_failure;
 
@@ -110,6 +111,7 @@ RunResult run(int nranks, const simnet::MachineModel& model, const RankFn& fn,
     sched::Scheduler scheduler(
         sched::resolve_workers(options.sim_workers, local_count),
         sched::resolve_stack_bytes(options.sim_stack_bytes));
+    if (options.idle_hook) scheduler.set_idle_hook(options.idle_hook);
     // RankCtx objects live out here (not on fiber stacks): the switch hooks
     // reference them from worker threads between switches.
     std::vector<std::unique_ptr<RankCtx>> ctxs;

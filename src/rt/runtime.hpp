@@ -93,6 +93,14 @@ struct RunOptions {
   /// Per-fiber stack bytes; 0 resolves CID_SIM_STACK_KB, then 1 MiB. The
   /// pages map lazily, so the cost of a large default is virtual.
   std::size_t sim_stack_bytes = 0;
+  /// Called with the freshly constructed World after the transport and
+  /// interceptor are installed and before any rank starts. cid::explore
+  /// installs its mailbox gates and delivery tap here; anything that must
+  /// see the World before the SPMD program does can use it.
+  std::function<void(World&)> world_setup;
+  /// Pooled-scheduler quiescence hook (see sched::Scheduler::set_idle_hook).
+  /// Requires the pooled scheduler; ignored under thread-per-rank.
+  std::function<bool()> idle_hook;
 };
 
 /// Execute `fn` on `nranks` ranks over a fresh World. Rethrows the first

@@ -256,18 +256,41 @@ void Scheduler::worker_loop() {
     Fiber* fiber = nullptr;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock, [&] {
-        return !run_queue_.empty() || stopping_ ||
-               finished_ == fibers_.size();
-      });
+      for (;;) {
+        if (!run_queue_.empty() || stopping_ ||
+            finished_ == fibers_.size()) {
+          break;
+        }
+        if (idle_hook_ && dispatching_ == 0) {
+          // Quiescence: every unfinished fiber is parked. Let the schedule
+          // oracle resolve a held decision (which re-enqueues a fiber) or
+          // declare a deadlock (which poisons the world and wakes everyone
+          // to unwind). Either way something lands in the run queue, so
+          // loop rather than sleep.
+          lock.unlock();
+          idle_hook_();
+          lock.lock();
+          continue;
+        }
+        queue_cv_.wait(lock);
+      }
       if (run_queue_.empty()) {
         if (stopping_ || finished_ == fibers_.size()) return;
         continue;
       }
       fiber = run_queue_.front();
       run_queue_.pop_front();
+      ++dispatching_;
     }
     dispatch(fiber, &worker_context);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      --dispatching_;
+    }
+    // Only exploration sessions need the extra wakeup: a sleeping worker
+    // must re-check for quiescence when the last dispatch drains. Without a
+    // hook the sleep conditions are unchanged, so stay silent (and free).
+    if (idle_hook_) queue_cv_.notify_all();
   }
 }
 

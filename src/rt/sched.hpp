@@ -146,6 +146,20 @@ class Scheduler {
   /// including non-worker threads (e.g. poison from a dying rank).
   void unpark(Fiber* fiber);
 
+  /// Install a quiescence hook (cid::explore's schedule oracle). When every
+  /// unfinished fiber is parked — the run queue is empty and no worker is
+  /// dispatching — a worker calls the hook with no scheduler locks held.
+  /// Return true after making at least one fiber runnable (e.g. by
+  /// releasing a gated message and waking its waiter); return false when no
+  /// progress is possible, after arranging the unwind (poisoning the world
+  /// wakes every parked fiber). With several workers the hook may be called
+  /// concurrently from more than one idle worker; the pooled exploration
+  /// sessions run one worker, where calls are strictly serialized. Inert
+  /// when unset: idle workers simply sleep, exactly as before.
+  void set_idle_hook(std::function<bool()> hook) {
+    idle_hook_ = std::move(hook);
+  }
+
   SchedStats stats() const noexcept;
 
  private:
@@ -165,6 +179,8 @@ class Scheduler {
   std::deque<Fiber*> run_queue_;
   std::size_t finished_ = 0;
   bool stopping_ = false;
+  int dispatching_ = 0;  ///< workers currently hosting a fiber
+  std::function<bool()> idle_hook_;
 
   std::atomic<std::uint64_t> switches_{0};
   std::atomic<std::uint64_t> parks_{0};

@@ -92,6 +92,7 @@ void World::deliver(int dest, Envelope envelope) {
     obs::count("rt.deliver.messages", "world", dest);
     obs::count("rt.deliver.bytes", "world", dest, envelope.payload.size());
   }
+  if (delivery_tap_) delivery_tap_(envelope, dest);
   if (interceptor_ != nullptr) {
     const DeliveryVerdict verdict = interceptor_->on_deliver(envelope, dest);
     if (verdict.sender_stall > 0.0 && envelope.src >= 0 &&

@@ -78,6 +78,14 @@ class World {
     return interceptor_.get();
   }
 
+  /// Lightweight mutating tap on the delivery seam, run before the fault
+  /// interceptor and before transport routing. cid::explore uses it to
+  /// stamp Envelope::explore_uid and record the send in its happens-before
+  /// trace. Inert (and free) when unset; install before ranks start.
+  void set_delivery_tap(std::function<void(Envelope&, int)> tap) {
+    delivery_tap_ = std::move(tap);
+  }
+
   /// Install the transport that carries envelopes and synchronizes the
   /// world barrier (see net/transport.hpp). Null (the default) short-
   /// circuits to the simulator path: synchronous mailbox push, local-only
@@ -209,6 +217,7 @@ class World {
   int nranks_;
   simnet::MachineModel model_;
   std::shared_ptr<DeliveryInterceptor> interceptor_;
+  std::function<void(Envelope&, int)> delivery_tap_;
   std::shared_ptr<net::Transport> transport_;
   /// Ranks that arrive at the world barrier in this process (== nranks_
   /// unless a cross-process transport hosts only a slice of the world).

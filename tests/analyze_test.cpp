@@ -588,6 +588,40 @@ TEST(Analyze, HumanRenderingIsCompilerStyle) {
             "  hint: the hint\n");
 }
 
+TEST(Analyze, SymbolicClausesAreCountedAndReportedAsSkips) {
+  // A symbolic sender (free variable `k`) is beyond the rank/nprocs model:
+  // the matcher must skip the directive, say so, and count it so callers
+  // (and `cidt check` output) can distinguish "proved clean" from "could
+  // not look".
+  const Report report = analyze(R"(
+int k;
+void f() {
+#pragma comm_p2p sbuf(a) rbuf(b) count(1) receiver((rank+1)%nprocs) sender(k)
+{ }
+}
+)");
+  EXPECT_TRUE(report.diagnostics.empty()) << render(report);
+  EXPECT_EQ(report.symbolic_skips, 1);
+
+  const std::string text = render(report);
+  EXPECT_NE(text.find("1 directive(s) skipped"), std::string::npos) << text;
+  EXPECT_NE(text.find("symbolic clause"), std::string::npos) << text;
+  EXPECT_NE(text.find("cidt explore"), std::string::npos) << text;
+}
+
+TEST(Analyze, ProvedCleanProgramReportsZeroSymbolicSkips) {
+  const Report report = analyze(R"(
+void f() {
+#pragma comm_p2p sbuf(a) rbuf(b) count(1) receiver((rank+1)%nprocs) sender((rank+nprocs-1)%nprocs)
+{ }
+}
+)");
+  EXPECT_TRUE(report.clean()) << render(report);
+  EXPECT_EQ(report.symbolic_skips, 0);
+  // No skip note when nothing was skipped.
+  EXPECT_EQ(render(report).find("skipped"), std::string::npos);
+}
+
 // --- JSON output ------------------------------------------------------------
 
 TEST(AnalyzeJson, RoundTripsThroughSchema) {
@@ -643,6 +677,25 @@ int main() {
   EXPECT_EQ(static_cast<int>(summary->find("warnings")->number),
             report.warnings());
   EXPECT_EQ(static_cast<int>(summary->find("files")->number), 1);
+}
+
+TEST(AnalyzeJson, CarriesSymbolicSkipCounts) {
+  const Report report = analyze(R"(
+int k;
+void f() {
+#pragma comm_p2p sbuf(a) rbuf(b) count(1) receiver((rank+1)%nprocs) sender(k)
+{ }
+}
+)");
+  ASSERT_EQ(report.symbolic_skips, 1);
+  const std::string json = cid::analyze::to_json({{"skip.cpp", report}});
+  auto parsed = cid::obs::parse_json(json);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const auto& file = parsed.value().find("files")->array[0];
+  EXPECT_EQ(static_cast<int>(file.find("symbolic_skips")->number), 1);
+  const auto* summary = parsed.value().find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(static_cast<int>(summary->find("symbolic_skips")->number), 1);
 }
 
 TEST(AnalyzeJson, EscapesSpecialCharacters) {

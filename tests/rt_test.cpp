@@ -303,6 +303,127 @@ TEST(MatchKey, MidQueueExactExtractionKeepsRemainingOrder) {
   });
 }
 
+TEST(MatchKey, ExactSublistSkipsEnvelopesStolenByWildcard) {
+  cid::rt::run(1, MachineModel::zero(), [](RankCtx& ctx) {
+    using cid::rt::Channel;
+    // Pinned receives and MPI_ANY_SOURCE compete in one bucket: a wildcard
+    // extraction removes the head of the (src=2, tag=5) exact sub-queue
+    // behind its back, leaving a stale seq the fast path must skip lazily.
+    push_self(ctx, 2, 5, Channel::MpiPointToPoint, 0);  // seq 0
+    push_self(ctx, 3, 5, Channel::MpiPointToPoint, 0);  // seq 1
+    push_self(ctx, 2, 5, Channel::MpiPointToPoint, 0);  // seq 2
+
+    cid::rt::MatchKey any_src;
+    any_src.src = cid::rt::kMatchAny;
+    any_src.tag = 5;
+    auto stolen = ctx.mailbox().try_extract(any_src);
+    ASSERT_TRUE(stolen.has_value());
+    EXPECT_EQ(stolen->seq, 0u);  // arrival order: src 2's sub-queue head
+
+    cid::rt::MatchKey pinned;
+    pinned.src = 2;
+    pinned.tag = 5;
+    auto remaining = ctx.mailbox().try_extract(pinned);
+    ASSERT_TRUE(remaining.has_value());
+    EXPECT_EQ(remaining->seq, 2u);  // stale seq 0 skipped, not matched twice
+    EXPECT_FALSE(ctx.mailbox().try_extract(pinned).has_value());
+
+    pinned.src = 3;
+    auto other = ctx.mailbox().try_extract(pinned);
+    ASSERT_TRUE(other.has_value());
+    EXPECT_EQ(other->seq, 1u);
+    EXPECT_EQ(ctx.mailbox().size(), 0u);
+  });
+}
+
+TEST(MatchKey, ExactResidualSkipLeavesRejectedEnvelopeInPlace) {
+  cid::rt::run(1, MachineModel::zero(), [](RankCtx& ctx) {
+    using cid::rt::Channel;
+    push_self(ctx, 1, 5, Channel::MpiPointToPoint, 0);  // seq 0
+    push_self(ctx, 1, 5, Channel::MpiPointToPoint, 0);  // seq 1
+
+    // The residual rejects the sub-queue head; the fast path must advance
+    // to seq 1 without erasing or re-examining seq 0.
+    cid::rt::MatchKey pinned;
+    pinned.src = 1;
+    pinned.tag = 5;
+    cid::rt::Mailbox::Residual reject_head = [](const cid::rt::Envelope& e) {
+      return e.seq != 0;
+    };
+    auto second = ctx.mailbox().try_extract(pinned, &reject_head);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->seq, 1u);
+
+    // The rejected envelope is still there for an unconstrained receive —
+    // residual skips must never drop messages.
+    auto head = ctx.mailbox().try_extract(pinned);
+    ASSERT_TRUE(head.has_value());
+    EXPECT_EQ(head->seq, 0u);
+    EXPECT_EQ(ctx.mailbox().size(), 0u);
+  });
+}
+
+TEST(MatchKey, ResidualAndWildcardMixNeverSkipsALegalMatch) {
+  cid::rt::run(1, MachineModel::zero(), [](RankCtx& ctx) {
+    using cid::rt::Channel;
+    // Interleaved sources, one bucket: (1,5) (2,5) (1,5) (3,5).
+    push_self(ctx, 1, 5, Channel::MpiPointToPoint, 0);  // seq 0
+    push_self(ctx, 2, 5, Channel::MpiPointToPoint, 0);  // seq 1
+    push_self(ctx, 1, 5, Channel::MpiPointToPoint, 0);  // seq 2
+    push_self(ctx, 3, 5, Channel::MpiPointToPoint, 0);  // seq 3
+
+    // Pinned receive whose residual rejects the head: lands on seq 2.
+    cid::rt::MatchKey pinned;
+    pinned.src = 1;
+    pinned.tag = 5;
+    cid::rt::Mailbox::Residual reject_head = [](const cid::rt::Envelope& e) {
+      return e.seq != 0;
+    };
+    auto later = ctx.mailbox().try_extract(pinned, &reject_head);
+    ASSERT_TRUE(later.has_value());
+    EXPECT_EQ(later->seq, 2u);
+
+    // Wildcard sweep picks up the rejected head first (global order), then
+    // the other sources' messages; nothing was lost to the earlier skip.
+    cid::rt::MatchKey any_src;
+    any_src.src = cid::rt::kMatchAny;
+    any_src.tag = 5;
+    std::vector<std::uint64_t> seqs;
+    while (auto e = ctx.mailbox().try_extract(any_src)) seqs.push_back(e->seq);
+    EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0u, 1u, 3u}));
+    EXPECT_EQ(ctx.mailbox().size(), 0u);
+  });
+}
+
+TEST(MatchKey, MultiKeyPinnedPlusWildcardHonorsResidualPerCandidate) {
+  cid::rt::run(1, MachineModel::zero(), [](RankCtx& ctx) {
+    using cid::rt::Channel;
+    push_self(ctx, 1, 5, Channel::MpiPointToPoint, 0);  // seq 0
+    push_self(ctx, 2, 6, Channel::MpiPointToPoint, 0);  // seq 1
+
+    // One wait posts a pinned key and an ANY_SOURCE key together; the
+    // residual vetoes the pinned head, so the wildcard's (later) envelope
+    // must win even though the pinned candidate has the lower seq.
+    std::vector<cid::rt::MatchKey> keys(2);
+    keys[0].src = 1;
+    keys[0].tag = 5;
+    keys[1].src = cid::rt::kMatchAny;
+    keys[1].tag = 6;
+    cid::rt::Mailbox::Residual not_seq0 = [](const cid::rt::Envelope& e) {
+      return e.seq != 0;
+    };
+    auto winner = ctx.mailbox().try_extract(
+        std::span<const cid::rt::MatchKey>(keys), &not_seq0);
+    ASSERT_TRUE(winner.has_value());
+    EXPECT_EQ(winner->seq, 1u);
+    // Without the residual the pinned envelope is immediately extractable.
+    auto head = ctx.mailbox().try_extract(
+        std::span<const cid::rt::MatchKey>(keys));
+    ASSERT_TRUE(head.has_value());
+    EXPECT_EQ(head->seq, 0u);
+  });
+}
+
 TEST(MatchKey, MultiKeyExtractionReturnsGlobalArrivalOrderAcrossBuckets) {
   cid::rt::run(1, MachineModel::zero(), [](RankCtx& ctx) {
     using cid::rt::Channel;

@@ -1,21 +1,17 @@
 // cidt — the communication-intent directive tool.
 //
-// Subcommands:
-//   cidt [options] input.cpp      source-to-source translation (the default)
-//   cidt check [options] files…   static directive verification (cidlint)
-//   cidt trace <verb> …           trace-file reports
-//   cidt tune <verb> …            inspect/explain CID_TUNE profiles
-//   cidt run [options] prog …     launch a program on a transport backend
-//   cidt net doctor               transport configuration preflight
-//
-// Exit codes, shared by every subcommand:
+// One binary, one subcommand per intent layer; run `cidt` with no
+// arguments for the generated table. Exit codes, shared by every
+// subcommand:
 //   0  success / no findings
-//   1  findings: diagnostics reported, translation rejected, traces differ
+//   1  findings: diagnostics reported, translation rejected, traces
+//      differ, layers diverge
 //   2  usage error (unknown option, missing operand)
 //   3  I/O error (unreadable input, unwritable output)
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -25,6 +21,8 @@
 #include <vector>
 
 #include "analyze/analyze.hpp"
+#include "explore/explore.hpp"
+#include "explore/fuzz.hpp"
 #include "net/backend.hpp"
 #include "net/doctor.hpp"
 #include "obs/trace_read.hpp"
@@ -41,40 +39,92 @@ constexpr int kExitFindings = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitIo = 3;
 
+/// One row of the generated usage table. Keeping the catalog as data (and
+/// rendering it in a loop) means a new subcommand is exactly one entry here
+/// plus its dispatch line in main() — the table cannot drift from itself.
+struct SubcommandHelp {
+  const char* name;      ///< subcommand word; "" for the bare default
+  const char* synopsis;  ///< operands and options, one line
+  const char* summary;   ///< what it does, where it is documented
+};
+
+constexpr SubcommandHelp kSubcommands[] = {
+    {"",
+     "[-o out.cpp] [--check] [--target mpi2side|mpi1side|shmem]\n"
+     "  [--comm <expr>] [--no-annotate] [--summary] input.cpp",
+     "translate directive pragmas to message passing code;\n"
+     "--check validates the directives without writing output"},
+    {"check", "[--json] [--sweep MIN..MAX] file.cpp...",
+     "static analysis: match/race/sync/type diagnostics\n"
+     "(docs/ANALYSIS.md); exits 1 when anything is reported"},
+    {"run",
+     "[--backend sim|thread|tcp] [--procs N] [--port-base P]\n"
+     "  <program> [args...]",
+     "exec <program> with CID_BACKEND set; --backend tcp forks\n"
+     "--procs processes on loopback ports and wires the peer table"},
+    {"trace", "summarize|diff [--semantic]|export <trace.json>...",
+     "summarize, diff or export Chrome trace-event files written\n"
+     "via CID_TRACE_OUT; diff --semantic ignores virtual time"},
+    {"tune", "show|explain <profile.json> [site]",
+     "inspect CID_TUNE_PROFILE files (docs/TUNING.md); explain\n"
+     "replays every tuning decision with its reason"},
+    {"net", "doctor",
+     "transport preflight (docs/TRANSPORTS.md): CID_BACKEND, the\n"
+     "frame codec and the tcp peer table; exits 1 on findings"},
+    {"explore",
+     "[--nprocs N] [--naive] [--max-executions N]\n"
+     "  [--max-decisions N] [--schedule 1,0,...] [--json] file.cpp",
+     "schedule-space model checking (docs/EXPLORE.md): enumerate\n"
+     "message orderings, report deadlocks and wildcard races"},
+    {"fuzz",
+     "[--seeds N] [--seed-base S] [--nprocs N]\n"
+     "  [--budget-seconds B] [--dump-dir DIR]",
+     "cross-layer directive fuzzer (docs/EXPLORE.md): seeded\n"
+     "programs through translate/analyze/explore, exits 1 on\n"
+     "divergence"},
+};
+
+/// Render one two-column cell pair where either side may span multiple
+/// lines; continuation lines indent into their own column.
+void print_usage_row(const std::string& left, const char* right) {
+  constexpr int kLeftWidth = 26;
+  std::istringstream lhs(left);
+  std::istringstream rhs(right);
+  std::string l;
+  std::string r;
+  bool more_l = static_cast<bool>(std::getline(lhs, l));
+  bool more_r = static_cast<bool>(std::getline(rhs, r));
+  while (more_l || more_r) {
+    std::fprintf(stderr, "  %-*s %s\n", kLeftWidth, more_l ? l.c_str() : "",
+                 more_r ? r.c_str() : "");
+    more_l = more_l && static_cast<bool>(std::getline(lhs, l));
+    more_r = more_r && static_cast<bool>(std::getline(rhs, r));
+  }
+}
+
 int usage(const char* argv0) {
-  std::fprintf(
-      stderr,
-      "usage: %s [-o out.cpp] [--check] [--target mpi2side|mpi1side|shmem]\n"
-      "            [--comm <expr>] [--no-annotate] [--summary] input.cpp\n"
-      "       %s check [--json] [--sweep MIN..MAX] file.cpp...\n"
-      "       %s trace summarize <trace.json>\n"
-      "       %s trace diff [--semantic] <a.json> <b.json>\n"
-      "       %s trace export <trace.json> [-o out.csv]\n"
-      "       %s tune show <profile.json>\n"
-      "       %s tune explain <profile.json> [site]\n"
-      "       %s run [--backend sim|thread|tcp] [--procs N]\n"
-      "            [--port-base P] <program> [args...]\n"
-      "       %s net doctor\n"
-      "\n"
-      "subcommands:\n"
-      "  (default)  translate directive pragmas to message passing code;\n"
-      "             --check validates the directives without writing output\n"
-      "  check      static analysis: match/race/sync/type diagnostics\n"
-      "             (documented in docs/ANALYSIS.md); exits 1 when any\n"
-      "             diagnostic is reported\n"
-      "  trace      summarize, diff or export Chrome trace-event files\n"
-      "             written via CID_TRACE_OUT; diff --semantic ignores\n"
-      "             virtual time (the tuned-vs-untuned regression gate)\n"
-      "  tune       inspect CID_TUNE_PROFILE files (docs/TUNING.md); show\n"
-      "             prints the recorded per-site observations, explain\n"
-      "             replays every tuning decision with its reason\n"
-      "  run        exec <program> with CID_BACKEND set; --backend tcp\n"
-      "             forks --procs processes on loopback ports and wires\n"
-      "             CID_NET_PEERS/CID_NET_PROC for them\n"
-      "  net        transport diagnostics (docs/TRANSPORTS.md); doctor\n"
-      "             checks CID_BACKEND, the frame codec and the tcp peer\n"
-      "             table, exits 1 when anything needs fixing\n",
-      argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0, argv0);
+  std::fprintf(stderr, "usage: %s [<subcommand>] [options] ...\n\n", argv0);
+  for (const SubcommandHelp& row : kSubcommands) {
+    const std::string name = row.name[0] == '\0' ? "(default)" : row.name;
+    print_usage_row(name, row.summary);
+  }
+  std::fprintf(stderr, "\nsynopses:\n");
+  for (const SubcommandHelp& row : kSubcommands) {
+    std::string head = std::string(argv0);
+    if (row.name[0] != '\0') head += std::string(" ") + row.name;
+    std::istringstream lines(row.synopsis);
+    std::string line;
+    bool first = true;
+    while (std::getline(lines, line)) {
+      if (first) {
+        std::fprintf(stderr, "  %s %s\n", head.c_str(), line.c_str());
+      } else {
+        std::fprintf(stderr, "  %*s %s\n",
+                     static_cast<int>(head.size()), "", line.c_str());
+      }
+      first = false;
+    }
+  }
   return kExitUsage;
 }
 
@@ -502,6 +552,196 @@ int run_main(int argc, char** argv) {
   return worst;
 }
 
+/// `cidt explore`: enumerate the schedule space of one directive program
+/// and render the findings in the analyzer's diagnostic format.
+int explore_main(int argc, char** argv) {
+  bool json = false;
+  cid::explore::Options options;
+  std::string path;
+
+  auto int_arg = [&](int& i, int& slot) {
+    slot = std::atoi(argv[++i]);
+    return slot >= 1;
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--naive") {
+      options.dpor = false;
+    } else if (arg == "--nprocs" && i + 1 < argc) {
+      if (!int_arg(i, options.nprocs)) {
+        std::fprintf(stderr, "cidt: --nprocs must be >= 1\n");
+        return usage(argv[0]);
+      }
+    } else if (arg == "--max-executions" && i + 1 < argc) {
+      if (!int_arg(i, options.max_executions)) {
+        std::fprintf(stderr, "cidt: --max-executions must be >= 1\n");
+        return usage(argv[0]);
+      }
+    } else if (arg == "--max-decisions" && i + 1 < argc) {
+      if (!int_arg(i, options.max_decisions)) {
+        std::fprintf(stderr, "cidt: --max-decisions must be >= 1\n");
+        return usage(argv[0]);
+      }
+    } else if (arg == "--schedule" && i + 1 < argc) {
+      auto schedule = cid::explore::parse_schedule(argv[++i]);
+      if (!schedule.is_ok()) {
+        std::fprintf(stderr, "cidt: %s\n",
+                     schedule.status().to_string().c_str());
+        return usage(argv[0]);
+      }
+      options.schedule = schedule.value();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "cidt: unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "cidt: explore takes exactly one input file\n");
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "cidt: explore needs an input file\n");
+    return usage(argv[0]);
+  }
+
+  std::string source;
+  if (!read_file(path, source)) {
+    std::fprintf(stderr, "cidt: cannot read '%s'\n", path.c_str());
+    return kExitIo;
+  }
+  auto explored = cid::explore::explore_source(source, options);
+  if (!explored.is_ok()) {
+    std::fprintf(stderr, "cidt: %s\n",
+                 explored.status().to_string().c_str());
+    return kExitFindings;
+  }
+  const cid::explore::ExploreResult& result = explored.value();
+
+  if (json) {
+    std::fputs(cid::explore::to_json(path, result).c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    for (const auto& d : result.report.diagnostics) {
+      std::printf("%s:%d:%d: %s: [%s] %s\n", path.c_str(), d.line, d.column,
+                  std::string(cid::analyze::severity_name(d.severity)).c_str(),
+                  d.id.c_str(), d.message.c_str());
+      if (!d.hint.empty()) std::printf("  hint: %s\n", d.hint.c_str());
+    }
+    for (const std::string& note : result.notes) {
+      std::printf("%s: note: %s\n", path.c_str(), note.c_str());
+    }
+    std::fprintf(stderr,
+                 "cidt explore: nprocs %d, %d execution(s) (%s), %lld "
+                 "decision(s), depth %d, %d error(s), %d warning(s)%s\n",
+                 result.nprocs, result.executions,
+                 result.dpor ? "dpor" : "naive", result.decisions,
+                 result.max_depth, result.report.errors(),
+                 result.report.warnings(),
+                 result.truncated ? "; TRUNCATED (raise --max-executions)"
+                                  : "");
+  }
+  const int findings = result.report.errors() + result.report.warnings();
+  return findings == 0 ? kExitClean : kExitFindings;
+}
+
+/// `cidt fuzz`: seeded cross-layer differential fuzzing. Exits 1 when any
+/// seed diverges; divergent programs are printed (and optionally dumped to
+/// --dump-dir as seed-<n>.cpp) so the failure is reproducible offline.
+int fuzz_main(int argc, char** argv) {
+  int seeds = 100;
+  std::uint64_t seed_base = 1;
+  double budget_seconds = 0.0;  // 0 = no wall-clock budget
+  std::string dump_dir;
+  cid::explore::FuzzOptions options;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seeds" && i + 1 < argc) {
+      seeds = std::atoi(argv[++i]);
+      if (seeds < 1) {
+        std::fprintf(stderr, "cidt: --seeds must be >= 1\n");
+        return usage(argv[0]);
+      }
+    } else if (arg == "--seed-base" && i + 1 < argc) {
+      seed_base = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--nprocs" && i + 1 < argc) {
+      options.nprocs = std::atoi(argv[++i]);
+      if (options.nprocs < 1) {
+        std::fprintf(stderr, "cidt: --nprocs must be >= 1\n");
+        return usage(argv[0]);
+      }
+    } else if (arg == "--budget-seconds" && i + 1 < argc) {
+      budget_seconds = std::atof(argv[++i]);
+      if (budget_seconds <= 0.0) {
+        std::fprintf(stderr, "cidt: --budget-seconds must be > 0\n");
+        return usage(argv[0]);
+      }
+    } else if (arg == "--dump-dir" && i + 1 < argc) {
+      dump_dir = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "cidt: unknown option '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "cidt: fuzz takes no operands\n");
+      return usage(argv[0]);
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  int ran = 0;
+  int divergences = 0;
+  int deadlocks = 0;
+  int truncated = 0;
+  for (int i = 0; i < seeds; ++i) {
+    if (budget_seconds > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() > budget_seconds) {
+        std::fprintf(stderr,
+                     "cidt fuzz: wall-clock budget (%.0fs) reached after "
+                     "%d seed(s)\n",
+                     budget_seconds, ran);
+        break;
+      }
+    }
+    const std::uint64_t seed = seed_base + static_cast<std::uint64_t>(i);
+    const cid::explore::FuzzOutcome outcome =
+        cid::explore::fuzz_one(seed, options);
+    ++ran;
+    if (outcome.explore_deadlock) ++deadlocks;
+    if (outcome.explore_truncated) ++truncated;
+    if (!outcome.divergence) continue;
+    ++divergences;
+    std::fprintf(stderr, "cidt fuzz: seed %llu DIVERGED: %s\n",
+                 static_cast<unsigned long long>(seed),
+                 outcome.detail.c_str());
+    std::fprintf(stderr, "---- program (seed %llu) ----\n%s----\n",
+                 static_cast<unsigned long long>(seed),
+                 outcome.program.c_str());
+    if (!dump_dir.empty()) {
+      const std::string out_path =
+          dump_dir + "/seed-" + std::to_string(seed) + ".cpp";
+      std::ofstream out(out_path);
+      if (out) {
+        out << outcome.program;
+        std::fprintf(stderr, "cidt fuzz: program written to %s\n",
+                     out_path.c_str());
+      } else {
+        std::fprintf(stderr, "cidt fuzz: cannot write %s\n",
+                     out_path.c_str());
+      }
+    }
+  }
+  std::fprintf(stderr,
+               "cidt fuzz: %d seed(s) run, %d divergence(s); %d with "
+               "explored deadlocks, %d truncated\n",
+               ran, divergences, deadlocks, truncated);
+  return divergences == 0 ? kExitClean : kExitFindings;
+}
+
 int translate_main(int argc, char** argv) {
   std::string input_path;
   std::string output_path;
@@ -606,6 +846,12 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::string(argv[1]) == "run") {
     return run_main(argc, argv);
+  }
+  if (argc >= 2 && std::string(argv[1]) == "explore") {
+    return explore_main(argc, argv);
+  }
+  if (argc >= 2 && std::string(argv[1]) == "fuzz") {
+    return fuzz_main(argc, argv);
   }
   return translate_main(argc, argv);
 }
